@@ -1,0 +1,54 @@
+"""Appendix A: language-based vs verification-based detection.
+
+Run: pytest benchmarks/bench_appendix_a_bmc.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.harness import appendix_a
+from repro.harness.appendix_a import anvil_side, verification_side
+
+
+@pytest.fixture(scope="module")
+def result():
+    return appendix_a()
+
+
+def test_print(result):
+    print("\nAPPENDIX A -- Anvil vs bounded model checking")
+    a = result["anvil"]
+    print(f"  Anvil type check:   {a['verdict']} in {a['seconds']*1000:.1f} ms"
+          f" (modular: child only); error: {a['error'][:80]}...")
+    b = result["bmc_full_width"]
+    print(f"  BMC (32-bit cnt):   {b['verdict']} after depth "
+          f"{b['depth_reached']}, {b['states_explored']} states, "
+          f"{b['seconds']:.2f}s -- violation NOT found")
+    c = result["bmc_reduced_width"]
+    print(f"  BMC (8-bit cnt):    {c['verdict']} after "
+          f"{c['states_explored']} states (manual abstraction needed)")
+
+
+def test_anvil_detects_instantly(result):
+    a = result["anvil"]
+    assert a["verdict"] == "rejected"
+    assert a["value_not_live"]
+    assert a["seconds"] < 2.0
+
+
+def test_bmc_misses_at_full_width(result):
+    b = result["bmc_full_width"]
+    assert not b["found_violation"]
+
+
+def test_bmc_finds_after_manual_reduction(result):
+    assert result["bmc_reduced_width"]["found_violation"]
+
+
+@pytest.mark.benchmark(group="appendix_a")
+def test_benchmark_anvil_check(benchmark):
+    benchmark(anvil_side)
+
+
+@pytest.mark.benchmark(group="appendix_a")
+def test_benchmark_bmc(benchmark):
+    benchmark(lambda: verification_side(max_depth=200, time_budget=1.0))

@@ -1,0 +1,56 @@
+"""Table 1: area / power / fmax / latency for the ten evaluation designs.
+
+Run: pytest benchmarks/bench_table1_synthesis.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.harness.table1 import format_table1, generate_table1
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return generate_table1()
+
+
+def test_print_table1(rows):
+    print()
+    print("=" * 100)
+    print("TABLE 1 -- resource consumption, Anvil vs baselines")
+    print("=" * 100)
+    print(format_table1(rows))
+
+
+def test_shape_latency_overhead_zero(rows):
+    """The paper's headline: no design pays any cycle latency."""
+    assert all(r.latency_overhead == 0 for r in rows)
+
+
+def test_shape_fifo_near_parity(rows):
+    fifo = rows[0]
+    assert abs(fifo.area_overhead) < 10
+
+
+def test_shape_aes_small_area_overhead(rows):
+    aes = [r for r in rows if "AES" in r.design][0]
+    assert aes.area_overhead < 20
+
+
+def test_shape_overheads_bounded(rows):
+    """Every overhead stays within the same order as the baseline."""
+    assert all(r.area_overhead < 120 for r in rows)
+
+
+def bench_generate(benchmark=None):
+    pass
+
+
+@pytest.mark.benchmark(group="table1")
+def test_benchmark_cost_model(benchmark):
+    """Throughput of the synthesis cost model itself."""
+    from repro.anvil_designs.streams import fifo_buffer
+    from repro.codegen.simfsm import compile_process
+    from repro.synth import estimate_compiled
+
+    compiled = compile_process(fifo_buffer(depth=4, width=32))
+    benchmark(lambda: estimate_compiled(compiled))

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Dynamic timing contracts vs static worst-case contracts (Figure 4).
+
+A memory with a small cache answers hits in 1 cycle and misses in 3.
+Under a *dynamic* contract ("address stable until res") the client gets
+hits fast; under a *static* contract the design must pessimize every
+response to the worst case and caching buys nothing.
+
+Run:  python examples/cache_dynamic_contract.py
+"""
+
+from repro import System, build_simulation, check_process
+from repro.anvil_designs.memory import (
+    cached_memory_process,
+    cached_memory_static_process,
+)
+
+ADDRESSES = [5, 5, 9, 9, 5, 9, 7, 5]
+
+
+def measure(factory, label):
+    sys_ = System()
+    inst = sys_.add(factory())
+    ch = sys_.expose(inst, "host")
+    ss = build_simulation(sys_)
+    ext = ss.external(ch)
+    ext.always_receive("res")
+    for a in ADDRESSES:
+        ext.send("req", a)
+    ss.sim.run(200)
+    reqs = ext.sent["req"]
+    ress = ext.received["res"]
+    lats = [r[0] - q[0] for q, r in zip(reqs, ress)]
+    values = [v for _, v in ress]
+    print(f"{label:28s} latencies={lats}  total={sum(lats)} cycles")
+    assert values == [a & 0xFF for a in ADDRESSES]
+    return sum(lats)
+
+
+print("workload:", ADDRESSES, "(repeated addresses hit the cache)\n")
+
+assert check_process(cached_memory_process()).ok
+assert check_process(cached_memory_static_process()).ok
+
+dyn = measure(cached_memory_process, "dynamic contract [req,res)")
+static = measure(cached_memory_static_process, "static contract  [req,+3)")
+
+print(f"\nthe dynamic contract is {static / dyn:.2f}x faster on this "
+      "workload -- same cache, same safety guarantee")

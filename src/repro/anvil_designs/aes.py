@@ -1,0 +1,330 @@
+"""Anvil AES cipher core: AES-128/256, encrypt/decrypt, round-per-cycle,
+on-the-fly key schedule (forward for encryption, backward for decryption
+after a key-expansion pass) -- the OpenTitan-style architecture of the
+paper's evaluation.
+
+The S-box and the GF(2^8) multiply tables are ``table`` terms (LUTs),
+mirroring the LUT-mapped S-box of the original IP.  One loop iteration is
+one cycle; the round counter register drives the *dynamic* latency:
+10/14 rounds, doubled-plus for decryption's key pass.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..designs.aes import (
+    GMUL9,
+    GMUL11,
+    GMUL13,
+    GMUL14,
+    INV_SBOX,
+    OP_DECRYPT,
+    RCON,
+    REQ_WIDTH,
+    SBOX,
+    XTIME,
+)
+from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
+from ..lang.process import Process
+from ..lang.terms import (
+    Term,
+    cycle,
+    if_,
+    let,
+    lit,
+    mux,
+    par,
+    read,
+    send,
+    set_reg,
+    table,
+    try_recv,
+    var,
+)
+from ..lang.types import Logic
+
+
+def aes_channel() -> ChannelDef:
+    return ChannelDef("aes_ch", [
+        MessageDef("req", Side.RIGHT, Logic(REQ_WIDTH),
+                   LifetimeSpec.static(1)),
+        MessageDef("res", Side.LEFT, Logic(128), LifetimeSpec.static(1)),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# 128-bit term helpers (byte 0 = most significant, as in FIPS-197)
+# ---------------------------------------------------------------------------
+def _bytes_of(x: Term, n_bytes: int = 16) -> List[Term]:
+    width = 8 * n_bytes
+    return [x.bits(width - 1 - 8 * i, width - 8 - 8 * i)
+            for i in range(n_bytes)]
+
+
+def _concat(parts: List[Term]) -> Term:
+    acc = parts[0]
+    for p in parts[1:]:
+        acc = acc.concat(p)
+    return acc
+
+
+def _sub_bytes(bs: List[Term], box) -> List[Term]:
+    return [table(b, box, 8) for b in bs]
+
+
+def _shift_rows(bs: List[Term]) -> List[Term]:
+    out = list(bs)
+    for row in range(1, 4):
+        cols = [bs[4 * c + row] for c in range(4)]
+        cols = cols[row:] + cols[:row]
+        for c in range(4):
+            out[4 * c + row] = cols[c]
+    return out
+
+
+def _inv_shift_rows(bs: List[Term]) -> List[Term]:
+    out = list(bs)
+    for row in range(1, 4):
+        cols = [bs[4 * c + row] for c in range(4)]
+        cols = cols[-row:] + cols[:-row]
+        for c in range(4):
+            out[4 * c + row] = cols[c]
+    return out
+
+
+def _xt(b: Term) -> Term:
+    """xtime as hardware computes it: shift left, conditionally xor the
+    reduction polynomial (a handful of XORs -- not a ROM)."""
+    shifted = b.bits(6, 0).concat(lit(0, 1))
+    return mux(b.bit(7), shifted ^ 0x1B, shifted)
+
+
+def _mix_columns(bs: List[Term]) -> List[Term]:
+    out: List[Term] = []
+    for c in range(4):
+        a = bs[4 * c:4 * c + 4]
+        out.extend([
+            _xt(a[0]) ^ (a[1] ^ _xt(a[1])) ^ a[2] ^ a[3],
+            a[0] ^ _xt(a[1]) ^ (a[2] ^ _xt(a[2])) ^ a[3],
+            a[0] ^ a[1] ^ _xt(a[2]) ^ (a[3] ^ _xt(a[3])),
+            (a[0] ^ _xt(a[0])) ^ a[1] ^ a[2] ^ _xt(a[3]),
+        ])
+    return out
+
+
+def _gf_muls(b: Term):
+    """9, 11, 13, 14 times ``b`` via the xtime chain (standard inverse
+    MixColumns decomposition)."""
+    x1 = _xt(b)
+    x2 = _xt(x1)
+    x3 = _xt(x2)
+    return {
+        9: x3 ^ b,
+        11: x3 ^ x1 ^ b,
+        13: x3 ^ x2 ^ b,
+        14: x3 ^ x2 ^ x1,
+    }
+
+
+def _inv_mix_columns(bs: List[Term]) -> List[Term]:
+    out: List[Term] = []
+    for c in range(4):
+        a = bs[4 * c:4 * c + 4]
+        m = [_gf_muls(x) for x in a]
+        out.extend([
+            m[0][14] ^ m[1][11] ^ m[2][13] ^ m[3][9],
+            m[0][9] ^ m[1][14] ^ m[2][11] ^ m[3][13],
+            m[0][13] ^ m[1][9] ^ m[2][14] ^ m[3][11],
+            m[0][11] ^ m[1][13] ^ m[2][9] ^ m[3][14],
+        ])
+    return out
+
+
+def _words_of(g: Term) -> List[Term]:
+    return [g.bits(127 - 32 * i, 96 - 32 * i) for i in range(4)]
+
+
+def _sub_word(w: Term) -> Term:
+    return _concat([table(b, SBOX, 8) for b in _bytes_of(w, 4)])
+
+
+def _rot_word(w: Term) -> Term:
+    return w.bits(23, 0).concat(w.bits(31, 24))
+
+
+def _gen_group(a: Term, b_last: Term, rcon: Term, type_a: bool) -> Term:
+    """Forward key-schedule step: next 4-word group from the group 8
+    words back (``a``) and the last word of the previous group."""
+    f = _sub_word(_rot_word(b_last)) ^ (rcon.concat(lit(0, 24))) \
+        if type_a else _sub_word(b_last)
+    aw = _words_of(a)
+    n0 = aw[0] ^ f
+    n1 = aw[1] ^ n0
+    n2 = aw[2] ^ n1
+    n3 = aw[3] ^ n2
+    return _concat([n0, n1, n2, n3])
+
+
+def _ungen_group(c: Term, b_last: Term, rcon: Term, type_a: bool,
+                 self_chained: bool = False) -> Term:
+    """Backward key-schedule step: recover the group 4 (AES-128) or 8
+    (AES-256) words back.
+
+    For AES-128 the schedule is self-chained: the non-linear function
+    feeds on the *recovered* group's last word (``a3``), not on a separate
+    previous group; pass ``self_chained=True`` in that case."""
+    cw = _words_of(c)
+    a3 = cw[3] ^ cw[2]
+    a2 = cw[2] ^ cw[1]
+    a1 = cw[1] ^ cw[0]
+    feed = a3 if self_chained else b_last
+    f = _sub_word(_rot_word(feed)) ^ (rcon.concat(lit(0, 24))) \
+        if type_a else _sub_word(feed)
+    a0 = cw[0] ^ f
+    return _concat([a0, a1, a2, a3])
+
+
+def _last_word(g: Term) -> Term:
+    return g.bits(31, 0)
+
+
+def aes_core(name: str = "anvil_aes") -> Process:
+    """The AES core process.  Phases (register ``phase``):
+
+    0 idle/accept, 1 keygen (decrypt only), 2 initial AddRoundKey,
+    3 rounds (one per cycle), 4 respond."""
+    p = Process(name)
+    p.endpoint("host", aes_channel(), Side.RIGHT)
+    p.register("phase", Logic(3))
+    p.register("dec", Logic(1))
+    p.register("k256", Logic(1))
+    p.register("rnd", Logic(5))
+    p.register("rci", Logic(4))
+    p.register("state", Logic(128))
+    p.register("win_hi", Logic(128))
+    p.register("win_lo", Logic(128))
+
+    dec = read("dec")
+    k256 = read("k256")
+    rnd = read("rnd")
+    rci = read("rci")
+    state = read("state")
+    win_hi = read("win_hi")
+    win_lo = read("win_lo")
+    rounds = mux(k256, lit(14, 5), lit(10, 5))
+    rcon_cur = table(rci, RCON, 8)
+    rcon_prev = table(rci - 1, RCON, 8)
+    rnd_even = (rnd & 1).eq(0)
+
+    # ---- phase 0: accept a request -------------------------------------
+    e = var("e")
+    word = e.field("data")
+    req_op = word.bit(385)
+    req_k256 = word.bit(384)
+    req_key = word.bits(383, 128)
+    req_block = word.bits(127, 0)
+    accept = par(
+        set_reg("dec", req_op),
+        set_reg("k256", req_k256),
+        set_reg("state", req_block),
+        # for both key sizes the newest 4 words sit in the low half of
+        # the key field (a 128-bit key occupies key[127:0])
+        set_reg("win_hi", req_key.bits(255, 128)),
+        set_reg("win_lo", req_key.bits(127, 0)),
+        set_reg("rnd", 0),
+        set_reg("rci", 0),
+        set_reg("phase", mux(req_op, lit(1, 3), lit(2, 3))),
+    )
+    phase0 = let(
+        "e", try_recv("host", "req", guard=read("phase").eq(0)),
+        if_(e.field("valid"), accept, cycle(1)),
+    )
+
+    # ---- phase 1: keygen (decryption: roll the schedule forward) -------
+    gen_a128 = _gen_group(win_lo, _last_word(win_lo), rcon_cur, True)
+    gen_a256 = _gen_group(win_hi, _last_word(win_lo), rcon_cur, True)
+    gen_b256 = _gen_group(win_hi, _last_word(win_lo), rcon_cur, False)
+    gen256 = mux(rnd_even, gen_a256, gen_b256)
+    steps = mux(k256, lit(13, 5), lit(10, 5))
+    keygen = par(
+        set_reg("win_lo", mux(k256, gen256, gen_a128)),
+        set_reg("win_hi", mux(k256, win_lo, win_hi)),
+        set_reg("rci", mux(k256 & ~rnd_even, rci, rci + 1)),
+        set_reg("rnd", rnd + 1),
+        set_reg("phase", mux((rnd + 1).eq(steps), lit(2, 3), lit(1, 3))),
+    )
+
+    # ---- phase 2: initial AddRoundKey ----------------------------------
+    rk_init = mux(
+        dec,
+        win_lo,                        # final round key (after keygen)
+        mux(k256, win_hi, win_lo),     # first 4 key words
+    )
+    init = par(
+        set_reg("state", state ^ rk_init),
+        set_reg("rnd", 1),
+        set_reg("phase", lit(3, 3)),
+    )
+
+    # ---- phase 3: one round per cycle -----------------------------------
+    # round key selection + window update
+    enc_gen128 = _gen_group(win_lo, _last_word(win_lo), rcon_cur, True)
+    enc_gen256 = mux(rnd_even, gen_a256, gen_b256)
+    enc_first256 = rnd.eq(1)
+    rk_enc = mux(k256, mux(enc_first256, win_lo, enc_gen256), enc_gen128)
+    enc_lo = mux(k256, mux(enc_first256, win_lo, enc_gen256), enc_gen128)
+    enc_hi = mux(k256, mux(enc_first256, win_hi, win_lo), win_hi)
+
+    dec_un128 = _ungen_group(win_lo, _last_word(win_lo), rcon_prev, True,
+                             self_chained=True)
+    # backward 256: recover group c-2 from (c = win_lo, b = win_hi)
+    dec_unA = _ungen_group(win_lo, _last_word(win_hi), rcon_prev, True)
+    dec_unB = _ungen_group(win_lo, _last_word(win_hi), rcon_prev, False)
+    dec_un256 = mux(rnd_even, dec_unA, dec_unB)
+    dec_first256 = rnd.eq(1)
+    rk_dec = mux(k256, mux(dec_first256, win_hi, dec_un256), dec_un128)
+    dec_lo = mux(k256, mux(dec_first256, win_lo, win_hi), dec_un128)
+    dec_hi = mux(k256, mux(dec_first256, win_hi, dec_un256), win_hi)
+
+    rk = mux(dec, rk_dec, rk_enc)
+    last = rnd.eq(rounds)
+
+    sb = _bytes_of(state)
+    enc_sub = _sub_bytes(sb, SBOX)
+    enc_shift = _shift_rows(enc_sub)
+    enc_normal = _concat(_mix_columns(enc_shift)) ^ rk
+    enc_last = _concat(enc_shift) ^ rk
+    dec_shift = _inv_shift_rows(sb)
+    dec_sub = _concat(_sub_bytes(dec_shift, INV_SBOX)) ^ rk
+    dec_normal = _concat(_inv_mix_columns(_bytes_of(dec_sub)))
+    round_out = mux(
+        dec,
+        mux(last, dec_sub, dec_normal),
+        mux(last, enc_last, enc_normal),
+    )
+    # rci moves forward (enc) or backward (dec); for 256 only on A-steps
+    rci_step_taken = mux(k256, mux(dec, ~dec_first256 & rnd_even,
+                                   ~enc_first256 & rnd_even), lit(1, 1))
+    rci_next = mux(rci_step_taken & ~dec, rci + 1,
+                   mux(rci_step_taken & dec, rci - 1, rci))
+    rounds_step = par(
+        set_reg("state", round_out),
+        set_reg("win_lo", mux(dec, dec_lo, enc_lo)),
+        set_reg("win_hi", mux(dec, dec_hi, enc_hi)),
+        set_reg("rci", rci_next),
+        set_reg("rnd", rnd + 1),
+        set_reg("phase", mux(last, lit(4, 3), lit(3, 3))),
+    )
+
+    # ---- phase 4: respond ------------------------------------------------
+    respond = send("host", "res", state) >> set_reg("phase", 0)
+
+    body = if_(
+        read("phase").eq(0), phase0,
+        if_(read("phase").eq(1), keygen,
+            if_(read("phase").eq(2), init,
+                if_(read("phase").eq(3), rounds_step, respond))),
+    )
+    p.loop(body)
+    return p

@@ -1,0 +1,182 @@
+"""Anvil AXI-Lite routers: demux (1 master -> N slaves) and mux
+(N masters -> 1 slave, fair round-robin).
+
+The AXI protocol is channel-shaped already; here each interface is an
+Anvil channel of five messages, and the routers are two-thread processes
+(independent write and read paths) whose transaction ordering is enforced
+by the wait operator instead of hand-written FSM state -- the complexity
+the paper says Anvil "abstracts away from the user".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
+from ..lang.process import Process
+from ..lang.terms import (
+    Term,
+    cycle,
+    if_,
+    let,
+    lit,
+    par,
+    read,
+    ready,
+    recv,
+    send,
+    set_reg,
+    var,
+)
+from ..lang.types import Logic
+from ..designs.axi import ADDR_W, DATA_W
+
+
+def axi_lite_channel(name: str = "axil") -> ChannelDef:
+    """The five AXI-Lite channels as one Anvil channel.  The master owns
+    the left endpoint; every payload is stable for its transfer cycle."""
+    return ChannelDef(name, [
+        MessageDef("aw", Side.RIGHT, Logic(ADDR_W), LifetimeSpec.static(1)),
+        MessageDef("w", Side.RIGHT, Logic(DATA_W), LifetimeSpec.static(1)),
+        MessageDef("b", Side.LEFT, Logic(2), LifetimeSpec.static(1)),
+        MessageDef("ar", Side.RIGHT, Logic(ADDR_W), LifetimeSpec.static(1)),
+        MessageDef("r", Side.LEFT, Logic(DATA_W), LifetimeSpec.static(1)),
+    ])
+
+
+def axi_demux(n_slaves: int = 4, name: str = "anvil_axi_demux") -> Process:
+    """Route each transaction to the slave selected by the top address
+    bits.  One write transaction and one read transaction may be in
+    flight concurrently (separate threads), matching the baseline."""
+    sel_bits = max((n_slaves - 1).bit_length(), 1)
+    shift = ADDR_W - sel_bits
+    p = Process(name)
+    p.endpoint("m", axi_lite_channel(), Side.RIGHT)
+    for i in range(n_slaves):
+        p.endpoint(f"s{i}", axi_lite_channel(), Side.LEFT)
+    p.register("awq", Logic(ADDR_W))
+    p.register("wq", Logic(DATA_W))
+    p.register("bq", Logic(2))
+    p.register("wsel", Logic(sel_bits))
+    p.register("arq", Logic(ADDR_W))
+    p.register("rq", Logic(DATA_W))
+    p.register("rsel", Logic(sel_bits))
+
+    def write_leg(i: int) -> Term:
+        return (
+            send(f"s{i}", "aw", read("awq"))
+            >> send(f"s{i}", "w", read("wq"))
+            >> let(f"b{i}", recv(f"s{i}", "b"),
+                   var(f"b{i}") >> set_reg("bq", var(f"b{i}")))
+        )
+
+    wbody: Term = write_leg(0)
+    for i in range(n_slaves - 1, 0, -1):
+        wbody = if_(read("wsel").eq(i), write_leg(i), wbody)
+    p.loop(
+        let("a", recv("m", "aw"),
+            var("a")
+            >> par(set_reg("awq", var("a")),
+                   set_reg("wsel", var("a").shr(shift)))
+            >> let("wd", recv("m", "w"),
+                   var("wd") >> set_reg("wq", var("wd"))
+                   >> wbody
+                   >> send("m", "b", read("bq")))),
+        name="write_path",
+    )
+
+    def read_leg(i: int) -> Term:
+        return (
+            send(f"s{i}", "ar", read("arq"))
+            >> let(f"r{i}", recv(f"s{i}", "r"),
+                   var(f"r{i}") >> set_reg("rq", var(f"r{i}")))
+        )
+
+    rbody: Term = read_leg(0)
+    for i in range(n_slaves - 1, 0, -1):
+        rbody = if_(read("rsel").eq(i), read_leg(i), rbody)
+    p.loop(
+        let("a", recv("m", "ar"),
+            var("a")
+            >> par(set_reg("arq", var("a")),
+                   set_reg("rsel", var("a").shr(shift)))
+            >> rbody
+            >> send("m", "r", read("rq"))),
+        name="read_path",
+    )
+    return p
+
+
+def _rotated_grant(n: int, rr_reg: str, req_of) -> List[Term]:
+    """Fair round-robin grant: ``g[i]`` is true iff master ``i`` requests
+    and no master earlier in the rotation (starting at ``rr``) does."""
+    grants: List[Term] = []
+    for i in range(n):
+        acc: Term = lit(0, 1)
+        for rr_val in range(n):
+            order = [(rr_val + k) % n for k in range(n)]
+            pos = order.index(i)
+            term: Term = read(rr_reg).eq(rr_val) & req_of(i)
+            for j in order[:pos]:
+                term = term & ~req_of(j)
+            acc = acc | term
+        grants.append(acc)
+    return grants
+
+
+def axi_mux(n_masters: int = 4, name: str = "anvil_axi_mux") -> Process:
+    """Arbitrate N masters onto one slave, round-robin per transaction."""
+    rr_bits = max((n_masters - 1).bit_length(), 1)
+    p = Process(name)
+    for i in range(n_masters):
+        p.endpoint(f"m{i}", axi_lite_channel(), Side.RIGHT)
+    p.endpoint("s", axi_lite_channel(), Side.LEFT)
+    p.register("awq", Logic(ADDR_W))
+    p.register("wq", Logic(DATA_W))
+    p.register("bq", Logic(2))
+    p.register("wrr", Logic(rr_bits))
+    p.register("arq", Logic(ADDR_W))
+    p.register("rq", Logic(DATA_W))
+    p.register("rrr", Logic(rr_bits))
+
+    def write_txn(i: int) -> Term:
+        return (
+            let(f"a{i}", recv(f"m{i}", "aw"),
+                var(f"a{i}")
+                >> par(set_reg("awq", var(f"a{i}")),
+                       set_reg("wrr", lit((i + 1) % n_masters, rr_bits)))
+                >> let(f"wd{i}", recv(f"m{i}", "w"),
+                       var(f"wd{i}") >> set_reg("wq", var(f"wd{i}"))
+                       >> send("s", "aw", read("awq"))
+                       >> send("s", "w", read("wq"))
+                       >> let(f"b{i}", recv("s", "b"),
+                              var(f"b{i}") >> set_reg("bq", var(f"b{i}"))
+                              >> send(f"m{i}", "b", read("bq")))))
+        )
+
+    wgrants = _rotated_grant(n_masters, "wrr",
+                             lambda i: ready(f"m{i}", "aw"))
+    wbody: Term = cycle(1)
+    for i in range(n_masters - 1, -1, -1):
+        wbody = if_(wgrants[i], write_txn(i), wbody)
+    p.loop(wbody, name="write_path")
+
+    def read_txn(i: int) -> Term:
+        return (
+            let(f"a{i}", recv(f"m{i}", "ar"),
+                var(f"a{i}")
+                >> par(set_reg("arq", var(f"a{i}")),
+                       set_reg("rrr", lit((i + 1) % n_masters, rr_bits)))
+                >> send("s", "ar", read("arq"))
+                >> let(f"r{i}", recv("s", "r"),
+                       var(f"r{i}") >> set_reg("rq", var(f"r{i}"))
+                       >> send(f"m{i}", "r", read("rq"))))
+        )
+
+    rgrants = _rotated_grant(n_masters, "rrr",
+                             lambda i: ready(f"m{i}", "ar"))
+    rbody: Term = cycle(1)
+    for i in range(n_masters - 1, -1, -1):
+        rbody = if_(rgrants[i], read_txn(i), rbody)
+    p.loop(rbody, name="read_path")
+    return p

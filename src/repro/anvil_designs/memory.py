@@ -1,0 +1,190 @@
+"""Anvil memory subsystem: ROM-backed memory and the Figure 4 cached
+memory with a dynamic timing contract.
+
+The channel contract is the paper's running example::
+
+    chan cache_ch {
+      left  req : (logic[8] @res)   -- address stable until res
+      right res : (logic[8] @#1)    -- data stable one cycle
+    }
+
+and the cached process answers hits after 1 cycle, misses after 3 --
+run-time-varying latency captured by one static contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
+from ..lang.process import Process
+from ..lang.terms import (
+    cycle,
+    if_,
+    let,
+    lit,
+    mux,
+    par,
+    read,
+    recv,
+    send,
+    set_reg,
+    table,
+    var,
+)
+from ..lang.types import Logic
+
+
+def memory_channel(dynamic: bool = True,
+                   static_cycles: int = 2) -> ChannelDef:
+    """``req`` travels right, ``res`` travels left.  The dynamic variant is
+    the cache contract ``[req, req->res)``; the static variant fixes the
+    address-stability window to ``static_cycles``."""
+    req_life = (
+        LifetimeSpec.until("res") if dynamic
+        else LifetimeSpec.static(static_cycles)
+    )
+    return ChannelDef("mem_ch" if not dynamic else "cache_ch", [
+        MessageDef("req", Side.RIGHT, Logic(8), req_life),
+        MessageDef("res", Side.LEFT, Logic(8), LifetimeSpec.static(1)),
+    ])
+
+
+def rom_contents(size: int = 256,
+                 fn: Callable[[int], int] = lambda a: a & 0xFF):
+    return [fn(a) for a in range(size)]
+
+
+def memory_process(latency: int = 2, name: str = "anvil_memory",
+                   contents=None) -> Process:
+    """ROM-backed memory with a fixed processing latency.  The request is
+    used *throughout* the processing window, which only type checks
+    because the contract guarantees the address stays stable."""
+    contents = contents or rom_contents()
+    p = Process(name)
+    p.endpoint("host", memory_channel(dynamic=True), Side.RIGHT)
+    p.register("result", Logic(8))
+    p.loop(
+        let("a", recv("host", "req"),
+            var("a")
+            >> cycle(latency - 1)
+            >> set_reg("result", table(var("a"), contents, width=8))
+            >> send("host", "res", read("result")))
+    )
+    return p
+
+
+def cached_memory_process(lines: int = 4, hit_latency: int = 1,
+                          miss_latency: int = 3,
+                          name: str = "anvil_cached_memory",
+                          contents=None) -> Process:
+    """Figure 4 (right): dynamic contract, hit in 1 cycle, miss in 3.
+
+    A direct-mapped cache of ``lines`` entries; the backing store is a
+    ROM.  The address (``a``) remains usable across the whole lookup
+    because the channel contract pins it until ``res`` -- exactly the
+    situation a static contract would have to pessimize to the miss
+    latency."""
+    contents = contents or rom_contents()
+    assert miss_latency >= hit_latency + 1
+    p = Process(name)
+    p.endpoint("host", memory_channel(dynamic=True), Side.RIGHT)
+    for i in range(lines):
+        p.register(f"tag{i}", Logic(8))
+        p.register(f"tagv{i}", Logic(1))
+        p.register(f"data{i}", Logic(8))
+    p.register("result", Logic(8))
+
+    def line_mux(field: str, idx):
+        expr = read(f"{field}0")
+        for i in range(lines - 1, 0, -1):
+            expr = mux(idx.eq(i), read(f"{field}{i}"), expr)
+        return expr
+
+    def line_write(field: str, idx, value):
+        body = set_reg(f"{field}0", value)
+        for i in range(lines - 1, 0, -1):
+            body = if_(idx.eq(i), set_reg(f"{field}{i}", value), body)
+        return body
+
+    a = var("a")
+    idx = a & (lines - 1)
+    hit = line_mux("tagv", idx) & line_mux("tag", idx).eq(a)
+    rom = table(a, contents, width=8)
+    body = let(
+        "a", recv("host", "req"),
+        a >> if_(
+            hit,
+            # hit: respond after hit_latency
+            set_reg("result", line_mux("data", idx)),
+            # miss: fetch from the backing store, fill the line
+            cycle(miss_latency - hit_latency)
+            >> par(
+                line_write("tag", idx, a),
+                line_write("tagv", idx, lit(1, 1)),
+                line_write("data", idx, rom),
+                set_reg("result", rom),
+            ),
+        )
+        >> send("host", "res", read("result")),
+    )
+    p.loop(body)
+    return p
+
+
+def cached_memory_static_process(lines: int = 4, worst_latency: int = 3,
+                                 name: str = "anvil_cached_memory_static",
+                                 contents=None) -> Process:
+    """Figure 4 (left): the same cache forced behind a *static* contract.
+    Every response -- hit or miss -- must wait for the worst-case delay,
+    nullifying the benefit of caching."""
+    contents = contents or rom_contents()
+    p = Process(name)
+    p.endpoint("host", memory_channel(dynamic=False,
+                                      static_cycles=worst_latency),
+               Side.RIGHT)
+    for i in range(lines):
+        p.register(f"tag{i}", Logic(8))
+        p.register(f"tagv{i}", Logic(1))
+        p.register(f"data{i}", Logic(8))
+    p.register("result", Logic(8))
+
+    def line_mux(field: str, idx):
+        expr = read(f"{field}0")
+        for i in range(lines - 1, 0, -1):
+            expr = mux(idx.eq(i), read(f"{field}{i}"), expr)
+        return expr
+
+    def line_write(field: str, idx, value):
+        body = set_reg(f"{field}0", value)
+        for i in range(lines - 1, 0, -1):
+            body = if_(idx.eq(i), set_reg(f"{field}{i}", value), body)
+        return body
+
+    a = var("a")
+    idx = a & (lines - 1)
+    hit = line_mux("tagv", idx) & line_mux("tag", idx).eq(a)
+    rom = table(a, contents, width=8)
+    body = let(
+        "a", recv("host", "req"),
+        a >> set_reg("addr_q", a)
+        >> if_(
+            hit,
+            cycle(worst_latency - 2)   # pad the hit to the worst case
+            >> set_reg("result",
+                       line_mux("data", read("addr_q") & (lines - 1))),
+            cycle(worst_latency - 2)
+            >> par(
+                line_write("tag", read("addr_q") & (lines - 1),
+                           read("addr_q")),
+                line_write("tagv", read("addr_q") & (lines - 1), lit(1, 1)),
+                line_write("data", read("addr_q") & (lines - 1),
+                           table(read("addr_q"), contents, width=8)),
+                set_reg("result", table(read("addr_q"), contents, width=8)),
+            ),
+        )
+        >> send("host", "res", read("result")),
+    )
+    p.register("addr_q", Logic(8))
+    p.loop(body)
+    return p

@@ -1,0 +1,156 @@
+"""Anvil MMU: page table walker and TLB with dynamic timing contracts.
+
+The PTW's walk depth -- and therefore its latency -- varies per request;
+the channel contract ``req : @res`` lets the walker *use the request for
+the whole walk* while the type system still proves every intermediate PTE
+is registered before reuse (PTEs only live one cycle)."""
+
+from __future__ import annotations
+
+from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
+from ..lang.process import Process
+from ..lang.terms import (
+    Term,
+    cycle,
+    if_,
+    let,
+    lit,
+    mux,
+    par,
+    read,
+    recv,
+    send,
+    set_reg,
+    var,
+)
+from ..lang.types import Logic
+from ..designs.mmu import FAULT, PPN_MASK, PTE_LEAF, PTE_VALID, ROOT_BASE
+
+
+def translate_channel() -> ChannelDef:
+    """vpn request / translation response."""
+    return ChannelDef("xlate_ch", [
+        MessageDef("req", Side.RIGHT, Logic(12), LifetimeSpec.until("res")),
+        MessageDef("res", Side.LEFT, Logic(16), LifetimeSpec.static(1)),
+    ])
+
+
+def walk_memory_channel() -> ChannelDef:
+    """PTW <-> page-table memory."""
+    return ChannelDef("walkmem_ch", [
+        MessageDef("req", Side.RIGHT, Logic(16), LifetimeSpec.until("res")),
+        MessageDef("res", Side.LEFT, Logic(16), LifetimeSpec.static(1)),
+    ])
+
+
+def ptw_process(root_base: int = ROOT_BASE,
+                name: str = "anvil_ptw") -> Process:
+    """Three-level page table walker, the levels unrolled in the term.
+
+    Each memory response (a PTE) lives for one cycle only, so the walker
+    *must* register it before computing the next level's address -- the
+    type checker enforces precisely the register CVA6's PTW also has."""
+    p = Process(name)
+    p.endpoint("host", translate_channel(), Side.RIGHT)
+    p.endpoint("mem", walk_memory_channel(), Side.LEFT)
+    p.register("base", Logic(12))
+    p.register("result", Logic(16))
+
+    v = var("v")
+
+    def respond() -> Term:
+        return send("host", "res", read("result"))
+
+    def leaf_result(pte: Term, level: int) -> Term:
+        low_mask = (1 << (4 * level)) - 1
+        value = (pte & PPN_MASK) | (v & low_mask) if level else (pte & PPN_MASK)
+        return set_reg("result", value)
+
+    def level_step(level: int, addr: Term, deeper: Term) -> Term:
+        """Issue one lookup; on a pointer PTE continue with ``deeper``."""
+        pte = var(f"pte{level}")
+        not_valid = (pte & PTE_VALID).eq(0)
+        is_leaf = (pte & PTE_LEAF).ne(0)
+        if level == 0:
+            on_pointer: Term = set_reg("result", FAULT)
+        else:
+            on_pointer = set_reg("base", pte & PPN_MASK) >> deeper
+        return (
+            send("mem", "req", addr)
+            >> let(f"pte{level}", recv("mem", "res"),
+                   pte
+                   >> if_(not_valid,
+                          set_reg("result", FAULT),
+                          if_(is_leaf,
+                              leaf_result(pte, level),
+                              on_pointer)))
+        )
+
+    l0 = level_step(0, read("base") + (v & 0xF), Term())
+    l1 = level_step(1, read("base") + (v.shr(4) & 0xF), l0)
+    l2 = level_step(2, lit(root_base, 16) + (v.shr(8) & 0xF), l1)
+    p.loop(let("v", recv("host", "req"), v >> l2 >> respond()))
+    return p
+
+
+def tlb_process(entries: int = 4, name: str = "anvil_tlb") -> Process:
+    """Fully-associative TLB, FIFO replacement.  Hit latency: one
+    registered cycle; miss latency: the walker's dynamic latency plus the
+    fill cycle -- all under one dynamic contract."""
+    p = Process(name)
+    p.endpoint("host", translate_channel(), Side.RIGHT)
+    p.endpoint("ptw", translate_channel(), Side.LEFT)
+    for i in range(entries):
+        p.register(f"tag{i}", Logic(12))
+        p.register(f"tagv{i}", Logic(1))
+        p.register(f"data{i}", Logic(16))
+    rr_w = max((entries - 1).bit_length(), 1)
+    p.register("rr", Logic(rr_w))
+    p.register("result", Logic(16))
+
+    v = var("v")
+
+    def hit_expr() -> Term:
+        expr: Term = lit(0, 1)
+        for i in range(entries):
+            expr = expr | (read(f"tagv{i}") & read(f"tag{i}").eq(v))
+        return expr
+
+    def hit_data() -> Term:
+        expr: Term = read("data0")
+        for i in range(entries - 1, 0, -1):
+            expr = mux(read(f"tagv{i}") & read(f"tag{i}").eq(v),
+                       read(f"data{i}"), expr)
+        return expr
+
+    def fill(value: Term) -> Term:
+        """Install the translation in the round-robin way."""
+        def way(i: int) -> Term:
+            return par(set_reg(f"tag{i}", v),
+                       set_reg(f"tagv{i}", 1),
+                       set_reg(f"data{i}", value))
+        body: Term = way(0)
+        for i in range(entries - 1, 0, -1):
+            body = if_(read("rr").eq(i), way(i), body)
+        return body
+
+    miss_path = (
+        send("ptw", "req", v)
+        >> let("t", recv("ptw", "res"),
+               var("t")
+               >> par(
+                   if_((var("t") & FAULT).eq(0),
+                       par(fill(var("t")), set_reg("rr", read("rr") + 1)),
+                       cycle(1)),
+                   set_reg("result", var("t")),
+               ))
+    )
+    p.loop(
+        let("v", recv("host", "req"),
+            v
+            >> if_(hit_expr(),
+                   set_reg("result", hit_data()),
+                   miss_path)
+            >> send("host", "res", read("result")))
+    )
+    return p

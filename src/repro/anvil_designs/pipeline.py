@@ -1,0 +1,107 @@
+"""Anvil static pipelines: the two-stage ALU and the 2x2 systolic array.
+
+Both use ``recursive`` threads (Section 4.3) with fully static channels:
+a new iteration starts every cycle while the previous one is still in its
+second stage.  The type checker proves the stage registers are never
+overwritten while a downstream stage still needs them -- the II=1 hazard
+analysis Filament performs with timeline types.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side, StaticSync
+from ..lang.process import Process
+from ..lang.terms import (
+    Term,
+    cycle,
+    let,
+    lit,
+    mux,
+    par,
+    read,
+    recurse,
+    recv,
+    send,
+    set_reg,
+    var,
+)
+from ..lang.types import Logic
+from ..designs.pipeline import ALU_OPS
+
+
+def static_channel(name: str, width: int) -> ChannelDef:
+    """Fully static stream: both sides ready every cycle, no handshake."""
+    sync = StaticSync(1)
+    return ChannelDef(name, [
+        MessageDef("data", Side.RIGHT, Logic(width), LifetimeSpec.static(1),
+                   sync, sync),
+    ])
+
+
+def pipelined_alu(name: str = "anvil_alu") -> Process:
+    """Two-stage ALU, II=1: stage 1 registers all candidate results and
+    the opcode; stage 2 registers the selected result and sends it."""
+    p = Process(name)
+    p.endpoint("inp", static_channel("alu_in", 35), Side.RIGHT)
+    p.endpoint("out", static_channel("alu_out", 16), Side.LEFT)
+    for k in range(8):
+        p.register(f"s1_{k}", Logic(16))
+    p.register("s1_op", Logic(3))
+    p.register("out_q", Logic(16))
+
+    r = var("r")
+    op = r.shr(32) & 7
+    a = r.shr(16) & 0xFFFF
+    b = r & 0xFFFF
+    candidates = [
+        a + b, a - b, a & b, a | b, a ^ b,
+        a << (b & 0xF), a.shr(b & 0xF), a.lt(b),
+    ]
+    stage1 = par(
+        *[set_reg(f"s1_{k}", candidates[k]) for k in range(8)],
+        set_reg("s1_op", op),
+    )
+    selected: Term = read("s1_0")
+    for k in range(7, 0, -1):
+        selected = mux(read("s1_op").eq(k), read(f"s1_{k}"), selected)
+    stage2 = set_reg("out_q", selected) >> send("out", "data", read("out_q"))
+    p.recursive(
+        let("r", recv("inp", "data"),
+            par(r >> stage1 >> stage2,
+                cycle(1) >> recurse()))
+    )
+    return p
+
+
+def systolic_array(weights: Tuple[Tuple[int, int], Tuple[int, int]] = ((1, 2), (3, 4)),
+                   name: str = "anvil_systolic") -> Process:
+    """2x2 weight-stationary systolic array, II=1, latency 2."""
+    p = Process(name)
+    p.endpoint("inp", static_channel("sa_in", 16), Side.RIGHT)
+    p.endpoint("out", static_channel("sa_out", 32), Side.LEFT)
+    p.register("p0_0", Logic(16))
+    p.register("p0_1", Logic(16))
+    p.register("x1_d", Logic(8))
+    p.register("y0", Logic(16))
+    p.register("y1", Logic(16))
+
+    r = var("r")
+    x0 = r & 0xFF
+    x1 = r.shr(8) & 0xFF
+    stage1 = par(
+        set_reg("p0_0", x0.bits(7, 0) * lit(weights[0][0], 8)),
+        set_reg("p0_1", x0.bits(7, 0) * lit(weights[0][1], 8)),
+        set_reg("x1_d", x1),
+    )
+    stage2 = par(
+        set_reg("y0", read("p0_0") + read("x1_d") * lit(weights[1][0], 8)),
+        set_reg("y1", read("p0_1") + read("x1_d") * lit(weights[1][1], 8)),
+    ) >> send("out", "data", read("y1").concat(read("y0")))
+    p.recursive(
+        let("r", recv("inp", "data"),
+            par(r >> stage1 >> stage2,
+                cycle(1) >> recurse()))
+    )
+    return p

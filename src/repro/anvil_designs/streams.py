@@ -1,0 +1,234 @@
+"""Anvil implementations of the common-cells designs (FIFO buffer, spill
+register, passthrough stream FIFO).
+
+Each function returns a type-checkable :class:`~repro.lang.process.Process`
+that is cycle-for-cycle equivalent to its baseline in
+:mod:`repro.designs.streams`.  All three are single-loop processes whose
+iteration takes exactly one cycle, using guarded non-blocking sends and
+receives -- the stream idiom in which the contract window is the single
+offer cycle, so pushes to other FIFO slots never violate a loan.
+"""
+
+from __future__ import annotations
+
+from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
+from ..lang.process import Process
+from ..lang.terms import (
+    Term,
+    cycle,
+    if_,
+    let,
+    lit,
+    mux,
+    par,
+    read,
+    send,
+    set_reg,
+    try_recv,
+    try_send,
+    unit,
+    var,
+)
+from ..lang.types import Logic
+
+
+def stream_channel(name: str = "stream", width: int = 8) -> ChannelDef:
+    """Valid/ack stream: one ``data`` message, payload stable for the one
+    cycle of the transfer."""
+    return ChannelDef(name, [
+        MessageDef("data", Side.RIGHT, Logic(width), LifetimeSpec.static(1)),
+    ])
+
+
+def if1(cond, then: Term) -> Term:
+    """A time-balanced conditional: the else arm idles for the same one
+    cycle the then arm's register write takes, so the branch condition
+    never affects downstream timing."""
+    return if_(cond, then, cycle(1))
+
+
+def _mem_mux(depth: int, ptr: Term, width: int) -> Term:
+    """Combinational read mux over the per-slot registers."""
+    expr: Term = read("mem0")
+    for i in range(depth - 1, 0, -1):
+        expr = mux(ptr.eq(i), read(f"mem{i}"), expr)
+    return expr
+
+
+def _mem_write(depth: int, ptr_reg: str, value: Term) -> Term:
+    """Write decoder: ``mem[*ptr] := value`` as an if-chain."""
+    body: Term = set_reg("mem0", value)
+    for i in range(depth - 1, 0, -1):
+        body = if_(read(ptr_reg).eq(i), set_reg(f"mem{i}", value), body)
+    return body
+
+
+def fifo_buffer(depth: int = 4, width: int = 8,
+                name: str = "anvil_fifo") -> Process:
+    """FIFO buffer with registered output (the ``fifo_v3`` equivalent).
+
+    One loop iteration per cycle:
+
+    * accept an input word while not full (guarded try_recv);
+    * offer ``mem[rptr]`` while not empty (guarded try_send);
+    * update pointers and the occupancy counter from the two outcomes.
+    """
+    ptr_w = max((depth - 1).bit_length(), 1)
+    cnt_w = depth.bit_length()
+    p = Process(name)
+    p.endpoint("inp", stream_channel("fifo_in", width), Side.RIGHT)
+    p.endpoint("out", stream_channel("fifo_out", width), Side.LEFT)
+    for i in range(depth):
+        p.register(f"mem{i}", Logic(width))
+    p.register("rptr", Logic(ptr_w))
+    p.register("wptr", Logic(ptr_w))
+    p.register("cnt", Logic(cnt_w))
+
+    not_full = read("cnt").ne(depth)
+    not_empty = read("cnt").ne(0)
+    body = let(
+        "enq", try_recv("inp", "data", guard=not_full),
+        let(
+            "sent",
+            try_send("out", "data", _mem_mux(depth, read("rptr"), width),
+                     guard=not_empty),
+            par(
+                if1(var("enq").field("valid"),
+                    par(_mem_write(depth, "wptr", var("enq").field("data")),
+                        set_reg("wptr",
+                                mux(read("wptr").eq(depth - 1),
+                                    lit(0, ptr_w), read("wptr") + 1)))),
+                if1(var("sent"),
+                    set_reg("rptr",
+                            mux(read("rptr").eq(depth - 1),
+                                lit(0, ptr_w), read("rptr") + 1))),
+                set_reg("cnt",
+                        (read("cnt") + var("enq").field("valid"))
+                        - var("sent")),
+            ),
+        ),
+    )
+    p.loop(body)
+    return p
+
+
+def spill_register(width: int = 8, name: str = "anvil_spill") -> Process:
+    """Two-slot skid buffer: the output register ``o`` holds the head
+    word, the spill register ``s`` catches the word arriving while the
+    output stalls.  All next-state logic is expressed as muxed register
+    assignments -- no branches, so the loop body is one cycle flat."""
+    p = Process(name)
+    p.endpoint("inp", stream_channel("spill_in", width), Side.RIGHT)
+    p.endpoint("out", stream_channel("spill_out", width), Side.LEFT)
+    p.register("o_data", Logic(width))
+    p.register("o_valid", Logic(1))
+    p.register("s_data", Logic(width))
+    p.register("s_valid", Logic(1))
+
+    space = ~(read("o_valid") & read("s_valid"))
+    body = let(
+        "enq", try_recv("inp", "data", guard=space),
+        let(
+            "pop", try_send("out", "data", read("o_data"),
+                            guard=read("o_valid")),
+            let(
+                "push", var("enq").field("valid"),
+                let(
+                    # state after the pop: the spill word moves up
+                    "o2_valid",
+                    mux(var("pop"), read("s_valid"), read("o_valid")),
+                    par(
+                        set_reg(
+                            "o_data",
+                            mux(var("push") & ~var("o2_valid"),
+                                var("enq").field("data"),
+                                mux(var("pop"), read("s_data"),
+                                    read("o_data")))),
+                        set_reg(
+                            "o_valid",
+                            var("o2_valid") | var("push")),
+                        set_reg(
+                            "s_data",
+                            mux(var("push") & var("o2_valid"),
+                                var("enq").field("data"),
+                                read("s_data"))),
+                        set_reg(
+                            "s_valid",
+                            (mux(var("pop"), lit(0, 1), read("s_valid")))
+                            | (var("push") & var("o2_valid"))),
+                    ),
+                ),
+            ),
+        ),
+    )
+    p.loop(body)
+    return p
+
+
+def passthrough_stream_fifo(depth: int = 4, width: int = 8,
+                            name: str = "anvil_stream_fifo") -> Process:
+    """Passthrough stream FIFO: an empty FIFO forwards input to output in
+    the same cycle; a full FIFO still accepts a write when a simultaneous
+    read frees a slot.
+
+    Unlike the original IP (Section 7.2 of the paper), the push guard here
+    is *enforced* by construction -- overflowing writes are never
+    acknowledged, instead of merely tripping a simulation assertion."""
+    ptr_w = max((depth - 1).bit_length(), 1)
+    cnt_w = depth.bit_length()
+    p = Process(name)
+    p.endpoint("inp", stream_channel("sf_in", width), Side.RIGHT)
+    p.endpoint("out", stream_channel("sf_out", width), Side.LEFT)
+    for i in range(depth):
+        p.register(f"mem{i}", Logic(width))
+    p.register("rptr", Logic(ptr_w))
+    p.register("wptr", Logic(ptr_w))
+    p.register("cnt", Logic(cnt_w))
+
+    from ..lang.terms import ready
+
+    not_full = read("cnt").ne(depth)
+    not_empty = read("cnt").ne(0)
+    # a full FIFO accepts a push when the consumer simultaneously pops
+    pop_possible = ready("out", "data") & not_empty
+    can_push = not_full | pop_possible
+    body = let(
+        "enq", try_recv("inp", "data", guard=can_push),
+        let(
+            "sent",
+            try_send("out", "data",
+                     mux(not_empty,
+                         _mem_mux(depth, read("rptr"), width),
+                         var("enq").field("data")),
+                     guard=not_empty | var("enq").field("valid")),
+            let(
+                # passthrough transfers touch no state at all
+                "thru", ~not_empty & var("enq").field("valid") & var("sent"),
+                let(
+                    "push", var("enq").field("valid") & ~var("thru"),
+                    let(
+                        "pop", var("sent") & ~var("thru"),
+                        par(
+                            if1(var("push"),
+                                par(_mem_write(depth, "wptr",
+                                               var("enq").field("data")),
+                                    set_reg("wptr",
+                                            mux(read("wptr").eq(depth - 1),
+                                                lit(0, ptr_w),
+                                                read("wptr") + 1)))),
+                            if1(var("pop"),
+                                set_reg("rptr",
+                                        mux(read("rptr").eq(depth - 1),
+                                            lit(0, ptr_w),
+                                            read("rptr") + 1))),
+                            set_reg("cnt",
+                                    (read("cnt") + var("push"))
+                                    - var("pop")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    p.loop(body)
+    return p

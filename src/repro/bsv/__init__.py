@@ -1,0 +1,18 @@
+"""Bluespec-SystemVerilog-style rule scheduling substrate (Figure 2).
+
+BSV describes hardware as guarded atomic *rules*; a compiler-generated
+scheduler picks, every cycle, a maximal subset of enabled rules that do
+not conflict (touch the same state).  Crucially -- as the paper's Figure 2
+argues -- scheduling is per-cycle: BSV cannot express *inter-cycle*
+constraints such as "the address must stay unchanged until the response
+arrives", so conflict-free schedules can still be timing-unsafe.
+"""
+
+from .rules import Rule, RuleAction, RuleState
+from .scheduler import RuleScheduler, ScheduleTrace
+from .contract import TimingContractMonitor
+
+__all__ = [
+    "Rule", "RuleAction", "RuleState", "RuleScheduler", "ScheduleTrace",
+    "TimingContractMonitor",
+]

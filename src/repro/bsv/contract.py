@@ -1,0 +1,45 @@
+"""Run-time timing-contract monitor.
+
+The inter-cycle constraints an Anvil channel contract states -- "the
+address stays unchanged from the request until the response", "the data
+is live for one cycle after the transfer" -- become *dynamic* checks
+here.  BSV-scheduled designs run under this monitor to demonstrate that
+conflict-free per-cycle schedules can still violate the contracts Anvil
+discharges statically (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class TimingContractMonitor:
+    """Tracks value-stability windows and records violations."""
+
+    def __init__(self):
+        self.violations: List[str] = []
+        # name -> (value pinned, reason); released explicitly
+        self._pinned: Dict[str, Tuple[int, str]] = {}
+
+    def pin(self, name: str, value: int, reason: str):
+        """From now until :meth:`release`, ``name`` must keep ``value``."""
+        self._pinned[name] = (value, reason)
+
+    def release(self, name: str):
+        self._pinned.pop(name, None)
+
+    def observe(self, cycle: int, name: str, value: int):
+        pinned = self._pinned.get(name)
+        if pinned is not None and pinned[0] != value:
+            self.violations.append(
+                f"cycle {cycle}: {name} changed to {value:#x} while pinned "
+                f"at {pinned[0]:#x} ({pinned[1]})"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self):
+        state = "ok" if self.ok else f"{len(self.violations)} violations"
+        return f"TimingContractMonitor({state})"

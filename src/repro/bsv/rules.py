@@ -1,0 +1,95 @@
+"""Rules and rule state.
+
+A :class:`RuleState` is the register file rules act on.  A :class:`Rule`
+has a guard (a predicate over the pre-cycle state) and a body that stages
+register writes and method calls; the scheduler commits staged effects
+atomically at the end of the cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class RuleState:
+    """Registers plus staged writes for one cycle."""
+
+    def __init__(self, **regs: int):
+        self.regs: Dict[str, int] = dict(regs)
+        self._staged: Dict[str, int] = {}
+        self.method_calls: List[Tuple[str, int]] = []
+
+    def read(self, name: str) -> int:
+        return self.regs[name]
+
+    def write(self, name: str, value: int):
+        if name not in self.regs:
+            raise KeyError(f"unknown register {name!r}")
+        self._staged[name] = value
+
+    def call(self, method: str, arg: int = 0):
+        """Invoke a method of another module (e.g. fifo.enq)."""
+        self.method_calls.append((method, arg))
+
+    def staged_targets(self) -> set:
+        return set(self._staged)
+
+    def commit(self):
+        self.regs.update(self._staged)
+        self._staged = {}
+        calls = self.method_calls
+        self.method_calls = []
+        return calls
+
+    def discard(self):
+        self._staged = {}
+        self.method_calls = []
+
+
+class RuleAction:
+    """Effects staged by one rule in one cycle (for conflict analysis)."""
+
+    def __init__(self, writes: set, methods: set):
+        self.writes = writes
+        self.methods = methods
+        self.staged_snapshot = None
+        self.methods_snapshot = None
+
+    def conflicts_with(self, other: "RuleAction") -> bool:
+        return bool(self.writes & other.writes or
+                    self.methods & other.methods)
+
+
+class Rule:
+    """A guarded atomic rule."""
+
+    def __init__(self, name: str,
+                 guard: Callable[[RuleState], bool],
+                 body: Callable[[RuleState], None]):
+        self.name = name
+        self.guard = guard
+        self.body = body
+
+    def stage(self, state: RuleState) -> Optional[RuleAction]:
+        """Evaluate the guard and stage effects; returns the action (with
+        a snapshot for conflict rollback) or ``None`` when the guard is
+        false."""
+        if not self.guard(state):
+            return None
+        staged_before = dict(state._staged)
+        methods_before = list(state.method_calls)
+        self.body(state)
+        writes = {
+            k for k, v in state._staged.items()
+            if k not in staged_before or staged_before[k] != v
+        } | (state.staged_targets() - set(staged_before))
+        methods = {m for m, _ in state.method_calls} - {
+            m for m, _ in methods_before
+        }
+        action = RuleAction(writes, methods)
+        action.staged_snapshot = staged_before
+        action.methods_snapshot = methods_before
+        return action
+
+    def __repr__(self):
+        return f"Rule({self.name})"

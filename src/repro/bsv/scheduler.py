@@ -1,0 +1,81 @@
+"""Per-cycle rule scheduler.
+
+Every cycle, rules are considered in a fixed priority order (the
+*schedule*); each enabled rule whose staged effects do not conflict with
+already-selected rules executes atomically.  Different priority orders
+produce different -- all conflict-free -- schedules, which is exactly the
+degree of freedom Figure 2 exploits to show timing-unsafe outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .rules import Rule, RuleAction, RuleState
+
+
+class ScheduleTrace:
+    """Which rules fired in which cycle."""
+
+    def __init__(self):
+        self.fired: List[List[str]] = []
+
+    def record(self, cycle: int, names: List[str]):
+        while len(self.fired) <= cycle:
+            self.fired.append([])
+        self.fired[cycle] = names
+
+    def count(self, rule_name: str) -> int:
+        return sum(1 for names in self.fired for n in names if n == rule_name)
+
+    def __repr__(self):
+        return f"ScheduleTrace({len(self.fired)} cycles)"
+
+
+class RuleScheduler:
+    """Executes rules over a :class:`RuleState` with per-cycle maximal
+    conflict-free selection."""
+
+    def __init__(self, state: RuleState, rules: Sequence[Rule],
+                 priority: Optional[Sequence[str]] = None):
+        self.state = state
+        self.rules = list(rules)
+        by_name = {r.name: r for r in self.rules}
+        if priority is not None:
+            self.order = [by_name[n] for n in priority]
+        else:
+            self.order = list(self.rules)
+        self.trace = ScheduleTrace()
+        self.cycle = 0
+        self.method_handlers: Dict[str, Callable[[int], None]] = {}
+
+    def on_method(self, name: str, handler: Callable[[int], None]):
+        self.method_handlers[name] = handler
+
+    def step(self):
+        fired: List[str] = []
+        committed = RuleAction(set(), set())
+        for rule in self.order:
+            action = rule.stage(self.state)
+            if action is None:
+                continue
+            if action.conflicts_with(committed):
+                # conflict: roll the rule's staging back entirely
+                self.state._staged = dict(action.staged_snapshot)
+                self.state.method_calls = list(action.methods_snapshot)
+                continue
+            committed = RuleAction(
+                committed.writes | action.writes,
+                committed.methods | action.methods,
+            )
+            fired.append(rule.name)
+        self.trace.record(self.cycle, fired)
+        for method, arg in self.state.commit():
+            handler = self.method_handlers.get(method)
+            if handler is not None:
+                handler(arg)
+        self.cycle += 1
+
+    def run(self, cycles: int):
+        for _ in range(cycles):
+            self.step()

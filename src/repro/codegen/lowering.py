@@ -1,0 +1,74 @@
+"""Message lowering: channel messages -> module ports (Section 6.2).
+
+Each message of an endpoint maps to up to three ports:
+
+* ``<msg>_data`` -- driven by the sender;
+* ``<msg>_valid`` -- sender's handshake bit;
+* ``<msg>_ack``  -- receiver's handshake bit.
+
+The compiler omits a handshake port whenever the corresponding side's sync
+mode is static or dependent (the timing is then statically known and no
+run-time synchronization is needed), exactly as the paper describes: both
+ports exist only for fully-dynamic messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from ..lang.channels import ChannelDef, MessageDef, Side
+
+
+class PortSpec(NamedTuple):
+    name: str
+    width: int
+    direction: str  # "input" | "output", from the perspective of `side`
+    role: str       # "data" | "valid" | "ack"
+    message: str
+
+
+def message_ports(endpoint: str, msg: MessageDef, side: Side) -> List[PortSpec]:
+    """Ports generated for ``msg`` on an endpoint occupying ``side``."""
+    sender = msg.sender_side() is side
+    ports: List[PortSpec] = []
+    prefix = f"{endpoint}_{msg.name}"
+    ports.append(
+        PortSpec(
+            f"{prefix}_data",
+            msg.dtype.width,
+            "output" if sender else "input",
+            "data",
+            msg.name,
+        )
+    )
+    sender_mode = msg.sync_of(msg.sender_side())
+    receiver_mode = msg.sync_of(msg.sender_side().other)
+    if sender_mode.is_dynamic:
+        ports.append(
+            PortSpec(
+                f"{prefix}_valid",
+                1,
+                "output" if sender else "input",
+                "valid",
+                msg.name,
+            )
+        )
+    if receiver_mode.is_dynamic:
+        ports.append(
+            PortSpec(
+                f"{prefix}_ack",
+                1,
+                "input" if sender else "output",
+                "ack",
+                msg.name,
+            )
+        )
+    return ports
+
+
+def endpoint_ports(endpoint: str, channel: ChannelDef, side: Side
+                   ) -> List[PortSpec]:
+    out: List[PortSpec] = []
+    for msg in channel:
+        out.extend(message_ports(endpoint, msg, side))
+    return out

@@ -1,0 +1,592 @@
+"""Executable FSMs: compiled Anvil processes on the RTL simulator.
+
+The paper's compiler lowers the event graph to an FSM with one ``current``
+wire per event plus state registers for joins, cycle delays and dynamic
+sends/receives (Section 6.2).  This module is the executable analogue: a
+:class:`CompiledProcess` holds the (optimized) event graph per thread and
+:class:`AnvilProcessModule` interprets it cycle by cycle:
+
+* event firing is computed *combinationally* each settle iteration (the
+  ``current`` wires), monotonically within a cycle;
+* actions (register writes, data latching, debug prints) commit at the
+  clock edge;
+* ``loop`` threads respawn an activation at the loop-back anchor; a
+  ``recursive`` thread respawns at its ``recurse`` event, so iterations
+  overlap exactly as the language semantics prescribe.
+
+Because the type checker has already guaranteed timing safety, the
+interpreter needs no value buffering beyond what the FSM itself has --
+which is why the generated hardware carries no lifetime bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.events import (
+    DebugPrintAction,
+    EventGraph,
+    EventKind,
+    RecvBindAction,
+    RegWriteAction,
+    SendDataAction,
+    SyncDir,
+    SyncFlagAction,
+    SyncGuardAction,
+)
+from ..core.graph_builder import BuildResult, GraphBuilder, LatchAction
+from ..core.optimize import optimize
+from ..errors import ContractViolationError, SimulationError
+from ..lang.channels import Side
+from ..lang.process import Process, System, Thread
+from ..rtl.module import Module
+from ..rtl.signal import Wire
+from . import rexpr as rx
+
+
+class CompiledThread:
+    def __init__(self, graph: EventGraph, root: int, anchor: int, kind: str,
+                 cond_exprs: Dict[int, rx.RExpr]):
+        self.graph = graph
+        self.root = root
+        self.anchor = anchor
+        self.kind = kind
+        self.cond_exprs = cond_exprs  # cond_id -> condition expression
+
+
+class CompiledProcess:
+    """A type-check-free compilation artifact: graphs ready to execute."""
+
+    def __init__(self, process: Process):
+        self.process = process
+        self.threads: List[CompiledThread] = []
+        self.optimize_stats = []
+
+
+def _collect_cond_exprs(result: BuildResult) -> Dict[int, rx.RExpr]:
+    """Map each branch condition id to the *slot* its latch writes.
+
+    The latched slot is combinationally visible in the cycle of the latch
+    (slot overlay / bypass wire), so referencing the slot is exact and --
+    unlike re-resolving by event position -- survives optimizer merges
+    that put several condition latches on one event."""
+    out: Dict[int, rx.RExpr] = {}
+    for ev in result.graph.events:
+        for act in ev.actions:
+            if isinstance(act, LatchAction) and act.cond_id >= 0:
+                out[act.cond_id] = rx.RSlot(act.slot, 1, f"c{act.cond_id}")
+    return out
+
+
+def compile_process(process: Process, do_optimize: bool = True
+                    ) -> CompiledProcess:
+    """Compile each thread to a single-iteration event graph + anchor."""
+    cp = CompiledProcess(process)
+    for thread in process.threads:
+        result = GraphBuilder(process, thread).build(iterations=1)
+        graph, anchor = result.graph, result.anchor
+        if do_optimize:
+            graph, mapping, stats = optimize(graph)
+            anchor = mapping.get(anchor, anchor)
+            cp.optimize_stats.append(stats)
+        # cond exprs must be collected against the *final* graph
+        tmp = BuildResult(graph, 0, anchor, thread)
+        cond_exprs = _collect_cond_exprs(tmp)
+        cp.threads.append(
+            CompiledThread(graph, 0, anchor, thread.kind, cond_exprs)
+        )
+    return cp
+
+
+class MessagePort:
+    """The wire triplet of one message on one channel instance."""
+
+    def __init__(self, name: str, width: int):
+        self.data = Wire(f"{name}.data", width)
+        self.valid = Wire(f"{name}.valid", 1)
+        self.ack = Wire(f"{name}.ack", 1)
+
+    def wires(self):
+        return (self.data, self.valid, self.ack)
+
+    @property
+    def fires(self) -> bool:
+        return bool(self.valid.value and self.ack.value)
+
+    def __repr__(self):
+        return (
+            f"MessagePort(data={self.data.value:#x} "
+            f"v={self.valid.value} a={self.ack.value})"
+        )
+
+
+class _SlotView:
+    """Committed slots with a same-cycle overlay (the hardware's bypass
+    path: data latched this cycle is combinationally visible)."""
+
+    __slots__ = ("base", "overlay")
+
+    def __init__(self, base: Dict[int, int], overlay: Dict[int, int]):
+        self.base = base
+        self.overlay = overlay
+
+    def get(self, key, default=0):
+        if key in self.overlay:
+            return self.overlay[key]
+        return self.base.get(key, default)
+
+
+class Activation:
+    """One in-flight iteration of a thread."""
+
+    __slots__ = ("start", "fired", "dead", "slots", "spawned", "retired")
+
+    def __init__(self, start: int):
+        self.start = start
+        self.fired: Dict[int, int] = {}  # eid -> cycle
+        self.dead: set = set()
+        self.slots: Dict[int, int] = {}
+        self.spawned = False
+        self.retired = False
+
+
+class AnvilProcessModule(Module):
+    """Run-time instance of a compiled process."""
+
+    MAX_ACTIVATIONS = 64
+    MAX_SPAWNS_PER_CYCLE = 16
+
+    def __init__(self, compiled: CompiledProcess, name: str = ""):
+        super().__init__(name or compiled.process.name)
+        self.compiled = compiled
+        self.process = compiled.process
+        self.regs: Dict[str, int] = {
+            r.name: r.init for r in self.process.registers.values()
+        }
+        # endpoint -> message -> MessagePort (shared with the counterpart)
+        self.ports: Dict[str, Dict[str, MessagePort]] = {}
+        self.sides: Dict[str, Side] = {}
+        self.cycle = 0
+        self.debug_log: List[Tuple[int, str, Optional[int]]] = []
+        self.print_debug = False
+        self._threads_rt: List[List[Activation]] = [
+            [] for _ in compiled.threads
+        ]
+        self._tentative: List[List[Activation]] = [
+            [] for _ in compiled.threads
+        ]
+        self._reg_writes: List[Tuple[str, int]] = []
+        self._started = False
+
+    # -- wiring -----------------------------------------------------------
+    def bind_endpoint(self, endpoint: str, side: Side,
+                      ports: Dict[str, MessagePort]):
+        self.ports[endpoint] = ports
+        self.sides[endpoint] = side
+        for p in ports.values():
+            self.adopt(p.data)
+            self.adopt(p.valid)
+            self.adopt(p.ack)
+
+    def _is_sender(self, endpoint: str, message: str) -> bool:
+        ep = self.process.get_endpoint(endpoint)
+        return ep.sends(message)
+
+    # -- expression environment ---------------------------------------------
+    def _env(self, act: Activation, overlay: Optional[Dict[int, int]] = None
+             ) -> rx.REnv:
+        def ready_fn(endpoint, message):
+            port = self.ports[endpoint][message]
+            if self._is_sender(endpoint, message):
+                return port.ack.value
+            return port.valid.value
+
+        slots = act.slots if overlay is None else _SlotView(act.slots, overlay)
+        return rx.REnv(self.regs, slots, ready_fn)
+
+    # -- combinational phase ---------------------------------------------
+    def eval_comb(self):
+        if not self._started:
+            for ti in range(len(self.compiled.threads)):
+                if not self._threads_rt[ti]:
+                    self._threads_rt[ti].append(Activation(0))
+            self._started = True
+        # release our handshake outputs, then re-drive below
+        for ep, msgs in self.ports.items():
+            for m, port in msgs.items():
+                if self._is_sender(ep, m):
+                    port.valid.set(0)
+                else:
+                    port.ack.set(0)
+        for ti, cthread in enumerate(self.compiled.threads):
+            self._tentative[ti] = []
+            acts = [a for a in self._threads_rt[ti] if not a.retired]
+            self._eval_thread(cthread, acts, self._tentative[ti])
+
+    def _eval_thread(self, cthread: CompiledThread, acts: List[Activation],
+                     tentative: List[Activation]):
+        g = cthread.graph
+        queue = list(acts)
+        spawns = 0
+        busy_messages: set = set()
+        idx = 0
+        while idx < len(queue):
+            act = queue[idx]
+            idx += 1
+            fired_now, _dead_now, _ov = self._fire_set(
+                cthread, act, busy_messages
+            )
+            anchor_fires = (
+                cthread.anchor in fired_now
+                or cthread.anchor in act.fired
+            )
+            if anchor_fires and not act.spawned:
+                spawns += 1
+                if spawns > self.MAX_SPAWNS_PER_CYCLE:
+                    raise SimulationError(
+                        f"{self.name}: zero-delay loop detected (thread "
+                        f"anchored at e{cthread.anchor})"
+                    )
+                if len(queue) >= self.MAX_ACTIVATIONS:
+                    raise SimulationError(
+                        f"{self.name}: too many concurrent activations"
+                    )
+                child = Activation(self.cycle)
+                tentative.append(child)
+                queue.append(child)
+
+    def _fire_set(self, cthread: CompiledThread, act: Activation,
+                  busy_messages: set):
+        """Compute events firing *this* cycle for one activation and drive
+        handshake wires for active syncs.  Pure function of settled state;
+        re-run every settle iteration (permanent state only commits at the
+        clock edge)."""
+        g = cthread.graph
+        now = self.cycle
+        fired_now: Dict[int, int] = {}
+        dead_now: set = set()
+        overlay: Dict[int, int] = {}
+        env = self._env(act, overlay)
+
+        def latch_into_overlay(ev):
+            for action in ev.actions:
+                if isinstance(action, RecvBindAction):
+                    port = self.ports[action.endpoint][action.message]
+                    overlay[action.target] = port.data.value
+                elif isinstance(action, SyncFlagAction):
+                    port = self.ports[action.endpoint][action.message]
+                    overlay[action.target] = int(port.fires)
+                elif isinstance(action, LatchAction):
+                    overlay[action.slot] = action.source.eval(env)
+
+        def fire_cycle(eid) -> Optional[int]:
+            if eid in act.fired:
+                return act.fired[eid]
+            return fired_now.get(eid)
+
+        def is_dead(eid) -> bool:
+            return eid in act.dead or eid in dead_now
+
+        for ev in g.events:
+            if ev.eid in act.fired or is_dead(ev.eid) or \
+                    ev.eid in fired_now:
+                continue
+            kind = ev.kind
+            if kind is EventKind.ROOT:
+                if act.start == now:
+                    fired_now[ev.eid] = now
+                    latch_into_overlay(ev)
+                continue
+            pred_cycles = [fire_cycle(p) for p in ev.preds]
+            if kind is EventKind.JOIN_ANY:
+                ready = [c for c in pred_cycles if c is not None]
+                alive = [
+                    p for p, c in zip(ev.preds, pred_cycles)
+                    if c is not None or not is_dead(p)
+                ]
+                if ready:
+                    fired_now[ev.eid] = now
+                    latch_into_overlay(ev)
+                elif not alive:
+                    dead_now.add(ev.eid)
+                continue
+            # all other kinds require every predecessor
+            if any(is_dead(p) for p in ev.preds):
+                dead_now.add(ev.eid)
+                continue
+            if any(c is None for c in pred_cycles):
+                continue
+            base = max(pred_cycles) if pred_cycles else act.start
+            if kind is EventKind.DELAY:
+                if base + ev.delay == now:
+                    fired_now[ev.eid] = now
+                    latch_into_overlay(ev)
+                continue
+            if kind is EventKind.JOIN_ALL:
+                fired_now[ev.eid] = now
+                latch_into_overlay(ev)
+                continue
+            if kind is EventKind.BRANCH:
+                expr = cthread.cond_exprs.get(ev.cond_id)
+                cond = expr.eval(env) & 1 if expr is not None else 0
+                if bool(cond) == ev.polarity:
+                    fired_now[ev.eid] = now
+                    latch_into_overlay(ev)
+                else:
+                    dead_now.add(ev.eid)
+                continue
+            if kind is EventKind.SYNC:
+                key = (ev.endpoint, ev.message)
+                if key in busy_messages:
+                    continue  # an older activation owns the handshake
+                busy_messages.add(key)
+                port = self.ports[ev.endpoint][ev.message]
+                guard = 1
+                for action in ev.actions:
+                    if isinstance(action, SyncGuardAction):
+                        guard = action.source.eval(env) & 1
+                if ev.direction is SyncDir.SEND:
+                    payload = 0
+                    for action in ev.actions:
+                        if isinstance(action, SendDataAction):
+                            payload = action.source.eval(env)
+                    if guard:
+                        port.valid.set(1)
+                        port.data.set(payload)
+                else:
+                    if guard:
+                        port.ack.set(1)
+                if ev.conditional or port.fires:
+                    fired_now[ev.eid] = now
+                    latch_into_overlay(ev)
+                continue
+        return fired_now, dead_now, overlay
+
+    # -- clock edge ---------------------------------------------------------
+    def tick(self):
+        for ti, cthread in enumerate(self.compiled.threads):
+            acts = self._threads_rt[ti]
+            acts.extend(self._tentative[ti])
+            self._tentative[ti] = []
+            busy: set = set()
+            for act in acts:
+                if act.retired:
+                    continue
+                fired_now, dead_now, overlay = self._fire_set(
+                    cthread, act, busy
+                )
+                act.dead.update(dead_now)
+                env = self._env(act, overlay)
+                for eid, cyc in fired_now.items():
+                    act.fired[eid] = cyc
+                    self._commit_actions(cthread, act, eid, env, overlay)
+                if cthread.anchor in fired_now:
+                    act.spawned = True
+                g = cthread.graph
+                if all(
+                    e.eid in act.fired or e.eid in act.dead
+                    for e in g.events
+                ):
+                    act.retired = True
+            live = [a for a in acts if not a.retired]
+            # Activations with identical FSM state are indistinguishable
+            # (the generated hardware holds one copy of that state); keep
+            # only the oldest of each equivalence class.  This is what
+            # stops stalled `recursive` iterations from piling up.
+            seen_states = set()
+            deduped = []
+            for a in live:
+                dues = []
+                for ev in cthread.graph.events:
+                    if ev.kind is EventKind.DELAY and \
+                            ev.eid not in a.fired and \
+                            ev.eid not in a.dead and ev.preds and \
+                            all(p in a.fired for p in ev.preds):
+                        base = max(a.fired[p] for p in ev.preds)
+                        dues.append((ev.eid, base + ev.delay - self.cycle))
+                key = (
+                    frozenset(a.fired),
+                    frozenset(a.dead),
+                    tuple(sorted(a.slots.items())),
+                    tuple(sorted(dues)),
+                    a.spawned,
+                )
+                if key in seen_states:
+                    continue
+                seen_states.add(key)
+                deduped.append(a)
+            self._threads_rt[ti] = deduped
+        for reg, value in self._reg_writes:
+            dtype = self.process.registers[reg].dtype
+            self.regs[reg] = dtype.mask(value)
+        self._reg_writes = []
+        self.cycle += 1
+
+    def _commit_actions(self, cthread: CompiledThread, act: Activation,
+                        eid: int, env, overlay):
+        for action in cthread.graph[eid].actions:
+            if isinstance(action, RegWriteAction):
+                self._reg_writes.append(
+                    (action.reg, action.source.eval(env))
+                )
+            elif isinstance(action, RecvBindAction):
+                port = self.ports[action.endpoint][action.message]
+                act.slots[action.target] = overlay.get(
+                    action.target, port.data.value
+                )
+            elif isinstance(action, SyncFlagAction):
+                port = self.ports[action.endpoint][action.message]
+                act.slots[action.target] = overlay.get(
+                    action.target, int(port.fires)
+                )
+            elif isinstance(action, LatchAction):
+                act.slots[action.slot] = overlay.get(
+                    action.slot, action.source.eval(env)
+                )
+            elif isinstance(action, DebugPrintAction):
+                value = (
+                    action.source.eval(env)
+                    if action.source is not None else None
+                )
+                self.debug_log.append((self.cycle, action.fmt, value))
+                if self.print_debug:
+                    suffix = "" if value is None else f" {value:#x}"
+                    print(f"[{self.cycle}] {self.name}: {action.fmt}{suffix}")
+            # SendDataAction handled combinationally
+
+    def reset(self):
+        self.regs = {
+            r.name: r.init for r in self.process.registers.values()
+        }
+        self._threads_rt = [[] for _ in self.compiled.threads]
+        self._tentative = [[] for _ in self.compiled.threads]
+        self._reg_writes = []
+        self.cycle = 0
+        self._started = False
+        self.debug_log = []
+
+
+class ExternalEndpoint(Module):
+    """Test-bench driver for the far side of an exposed channel.
+
+    Provides queue-based ``send``/``expect_recv`` so tests and baseline
+    co-simulations can interact with Anvil modules through ordinary
+    valid/ack handshakes."""
+
+    def __init__(self, name: str, channel, side: Side,
+                 ports: Dict[str, MessagePort]):
+        super().__init__(name)
+        self.channel = channel
+        self.side = side
+        self.ports = ports
+        for p in ports.values():
+            self.adopt(p.data)
+            self.adopt(p.valid)
+            self.adopt(p.ack)
+        self._send_queues: Dict[str, List[int]] = {}
+        self._recv_enabled: Dict[str, bool] = {}
+        self.received: Dict[str, List[Tuple[int, int]]] = {}
+        self.sent: Dict[str, List[Tuple[int, int]]] = {}
+        self.cycle = 0
+
+    def _is_sender(self, message: str) -> bool:
+        return self.channel.message(message).sender_side() is self.side
+
+    def send(self, message: str, value: int):
+        if not self._is_sender(message):
+            raise ContractViolationError(
+                f"{self.name} is not the sender of {message!r}"
+            )
+        self._send_queues.setdefault(message, []).append(value)
+
+    def always_receive(self, message: str, enabled: bool = True):
+        if self._is_sender(message):
+            raise ContractViolationError(
+                f"{self.name} is the sender of {message!r}"
+            )
+        self._recv_enabled[message] = enabled
+
+    def eval_comb(self):
+        for m, port in self.ports.items():
+            if self._is_sender(m):
+                queue = self._send_queues.get(m, [])
+                if queue:
+                    port.valid.set(1)
+                    port.data.set(queue[0])
+                else:
+                    port.valid.set(0)
+            else:
+                port.ack.set(1 if self._recv_enabled.get(m) else 0)
+
+    def tick(self):
+        for m, port in self.ports.items():
+            if self._is_sender(m):
+                queue = self._send_queues.get(m, [])
+                if queue and port.fires:
+                    value = queue.pop(0)
+                    self.sent.setdefault(m, []).append((self.cycle, value))
+            else:
+                if port.fires:
+                    self.received.setdefault(m, []).append(
+                        (self.cycle, port.data.value)
+                    )
+        self.cycle += 1
+
+
+class SimulatedSystem:
+    """A :class:`~repro.lang.process.System` elaborated onto the simulator."""
+
+    def __init__(self, system: System, sim, modules, externals):
+        self.system = system
+        self.sim = sim
+        self.modules: Dict[str, AnvilProcessModule] = modules
+        self.externals: Dict[int, ExternalEndpoint] = externals
+
+    def module(self, name: str) -> AnvilProcessModule:
+        return self.modules[name]
+
+    def external(self, chan) -> ExternalEndpoint:
+        cid = chan.cid if hasattr(chan, "cid") else chan
+        return self.externals[cid]
+
+
+def build_simulation(system: System, sim=None,
+                     do_optimize: bool = True) -> SimulatedSystem:
+    """Elaborate a system: compile every process, create channel wires and
+    external drivers for exposed endpoints."""
+    from ..rtl.simulator import Simulator
+
+    sim = sim or Simulator(system.name)
+    compiled: Dict[str, CompiledProcess] = {}
+    modules: Dict[str, AnvilProcessModule] = {}
+    for inst in system.instances.values():
+        if inst.process.name not in compiled:
+            compiled[inst.process.name] = compile_process(
+                inst.process, do_optimize
+            )
+        modules[inst.name] = AnvilProcessModule(
+            compiled[inst.process.name], inst.name
+        )
+    externals: Dict[int, ExternalEndpoint] = {}
+    for chan in system.channels:
+        ports = {
+            m.name: MessagePort(
+                f"ch{chan.cid}.{m.name}", m.dtype.width
+            )
+            for m in chan.channel
+        }
+        for side in (Side.LEFT, Side.RIGHT):
+            bound = chan.ends.get(side)
+            if bound is not None:
+                inst_name, ep_name = bound
+                modules[inst_name].bind_endpoint(ep_name, side, ports)
+            else:
+                ext = ExternalEndpoint(
+                    f"ext_ch{chan.cid}", chan.channel, side, ports
+                )
+                externals[chan.cid] = ext
+    for m in modules.values():
+        sim.add(m)
+    for e in externals.values():
+        sim.add(e)
+    return SimulatedSystem(system, sim, modules, externals)

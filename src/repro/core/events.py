@@ -1,0 +1,321 @@
+"""Event graph: the intermediate representation of the Anvil compiler.
+
+Events are abstract time points (Section 5.1/5.3 of the paper).  Nodes of the
+graph are labelled with how their time relates to their predecessors':
+
+========= ===========================================================
+kind      time of the event
+========= ===========================================================
+ROOT      0 (start of a thread iteration)
+DELAY     ``max(preds) + n``  (label ``#n``; the paper's blue edges)
+SYNC      ``max(preds) + slack`` where slack is an arbitrary
+          non-negative handshake delay (a fresh max-plus variable),
+          or a fixed constant when the sync mode is static/dependent
+BRANCH    same cycle as its predecessor, but only reached when its
+          branch condition has the matching polarity (red edges)
+JOIN_ANY  the earliest reached predecessor (orange edges, label ``⊕``)
+JOIN_ALL  the latest predecessor (label ``#0``)
+========= ===========================================================
+
+Each event additionally carries *actions* (register mutations, message
+sends/receives, debug prints) used by FSM lowering, so the graph is the
+single IR shared by the type checker and the code generator, as in the
+paper's compiler (Section 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+
+class EventKind(enum.Enum):
+    ROOT = "root"
+    DELAY = "delay"
+    SYNC = "sync"
+    BRANCH = "branch"
+    JOIN_ANY = "join_any"
+    JOIN_ALL = "join_all"
+
+
+class SyncDir(enum.Enum):
+    SEND = "send"
+    RECV = "recv"
+
+
+class Action:
+    """Side effect attached to an event, executed when the event fires."""
+
+    __slots__ = ()
+
+
+class RegWriteAction(Action):
+    """Schedule ``reg <- value_of(source)`` at this event (visible next cycle)."""
+
+    __slots__ = ("reg", "source")
+
+    def __init__(self, reg: str, source):
+        self.reg = reg
+        self.source = source
+
+    def __repr__(self):
+        return f"RegWrite({self.reg})"
+
+
+class SendDataAction(Action):
+    """Drive the data (and valid) lines of ``endpoint.message`` from this event."""
+
+    __slots__ = ("endpoint", "message", "source")
+
+    def __init__(self, endpoint: str, message: str, source):
+        self.endpoint = endpoint
+        self.message = message
+        self.source = source
+
+    def __repr__(self):
+        return f"SendData({self.endpoint}.{self.message})"
+
+
+class RecvBindAction(Action):
+    """Latch the received data of ``endpoint.message`` into a value slot."""
+
+    __slots__ = ("endpoint", "message", "target")
+
+    def __init__(self, endpoint: str, message: str, target):
+        self.endpoint = endpoint
+        self.message = message
+        self.target = target
+
+    def __repr__(self):
+        return f"RecvBind({self.endpoint}.{self.message})"
+
+
+class SyncFlagAction(Action):
+    """Latch whether this event's handshake actually transferred (the
+    success bit of a non-blocking try_send/try_recv)."""
+
+    __slots__ = ("endpoint", "message", "target")
+
+    def __init__(self, endpoint: str, message: str, target):
+        self.endpoint = endpoint
+        self.message = message
+        self.target = target
+
+    def __repr__(self):
+        return f"SyncFlag({self.endpoint}.{self.message})"
+
+
+class SyncGuardAction(Action):
+    """Gate a conditional synchronization: valid/ack only asserted while
+    the guard expression evaluates true."""
+
+    __slots__ = ("source",)
+
+    def __init__(self, source):
+        self.source = source
+
+    def __repr__(self):
+        return "SyncGuard"
+
+
+class DebugPrintAction(Action):
+    __slots__ = ("fmt", "source")
+
+    def __init__(self, fmt: str, source=None):
+        self.fmt = fmt
+        self.source = source
+
+    def __repr__(self):
+        return f"DebugPrint({self.fmt!r})"
+
+
+class Event:
+    """A node of the event graph."""
+
+    __slots__ = (
+        "eid",
+        "kind",
+        "preds",
+        "delay",
+        "endpoint",
+        "message",
+        "direction",
+        "static_slack",
+        "conditional",
+        "cond_id",
+        "polarity",
+        "actions",
+        "note",
+    )
+
+    def __init__(
+        self,
+        eid: int,
+        kind: EventKind,
+        preds: Sequence[int],
+        delay: int = 0,
+        endpoint: str = "",
+        message: str = "",
+        direction: Optional[SyncDir] = None,
+        static_slack: Optional[int] = None,
+        conditional: bool = False,
+        cond_id: int = -1,
+        polarity: bool = True,
+        note: str = "",
+    ):
+        self.eid = eid
+        self.kind = kind
+        self.preds: Tuple[int, ...] = tuple(preds)
+        self.delay = delay
+        self.endpoint = endpoint
+        self.message = message
+        self.direction = direction
+        self.static_slack = static_slack
+        self.conditional = conditional
+        self.cond_id = cond_id
+        self.polarity = polarity
+        self.actions: List[Action] = []
+        self.note = note
+
+    @property
+    def sync_key(self) -> Tuple[str, str]:
+        return (self.endpoint, self.message)
+
+    def label(self) -> str:
+        if self.kind is EventKind.ROOT:
+            return "root"
+        if self.kind is EventKind.DELAY:
+            return f"#{self.delay}"
+        if self.kind is EventKind.SYNC:
+            return f"{self.endpoint}.{self.message}"
+        if self.kind is EventKind.BRANCH:
+            return f"&c{self.cond_id}" + ("" if self.polarity else "!")
+        if self.kind is EventKind.JOIN_ANY:
+            return "(+)"
+        return "#0"
+
+    def __repr__(self):
+        return f"e{self.eid}[{self.label()}]"
+
+
+class EventGraph:
+    """A DAG of :class:`Event` nodes.
+
+    Nodes must be added in topological order (every predecessor id already
+    present), which the graph builder guarantees by construction.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.events: List[Event] = []
+        self._ancestors_cache: Dict[int, FrozenSet[int]] = {}
+        self._succs: Dict[int, List[int]] = {}
+        self._sync_index: Dict[Tuple[str, str], List[Event]] = {}
+
+    # -- construction ----------------------------------------------------
+    def add(
+        self,
+        kind: EventKind,
+        preds: Sequence[int] = (),
+        **kwargs,
+    ) -> Event:
+        for p in preds:
+            if p >= len(self.events) or p < 0:
+                raise ValueError(f"predecessor e{p} not yet in graph")
+        ev = Event(len(self.events), kind, preds, **kwargs)
+        self.events.append(ev)
+        for p in preds:
+            self._succs.setdefault(p, []).append(ev.eid)
+        if ev.kind is EventKind.SYNC:
+            self._sync_index.setdefault(ev.sync_key, []).append(ev)
+        self._ancestors_cache.clear()
+        return ev
+
+    def root(self) -> Event:
+        return self.add(EventKind.ROOT)
+
+    # -- queries ----------------------------------------------------------
+    def __len__(self):
+        return len(self.events)
+
+    def __getitem__(self, eid: int) -> Event:
+        return self.events[eid]
+
+    def successors(self, eid: int) -> List[int]:
+        return self._succs.get(eid, [])
+
+    def ancestors(self, eid: int) -> FrozenSet[int]:
+        """All strict ancestors of ``eid`` (transitive predecessors)."""
+        cached = self._ancestors_cache.get(eid)
+        if cached is not None:
+            return cached
+        acc: Set[int] = set()
+        stack = list(self.events[eid].preds)
+        while stack:
+            p = stack.pop()
+            if p in acc:
+                continue
+            acc.add(p)
+            stack.extend(self.events[p].preds)
+        result = frozenset(acc)
+        self._ancestors_cache[eid] = result
+        return result
+
+    def is_ancestor(self, a: int, b: int) -> bool:
+        """True iff there is a path from ``a`` to ``b`` (``a`` strictly
+        precedes ``b`` structurally)."""
+        return a in self.ancestors(b)
+
+    def sync_events(self, endpoint: str, message: str) -> List[Event]:
+        return self._sync_index.get((endpoint, message), [])
+
+    def conditions(self) -> List[int]:
+        """Ids of all branch conditions appearing in the graph."""
+        seen = []
+        for e in self.events:
+            if e.kind is EventKind.BRANCH and e.cond_id not in seen:
+                seen.append(e.cond_id)
+        return seen
+
+    def conditions_of(self, eids) -> List[int]:
+        """Branch conditions occurring among the ancestors (and selves) of
+        the given events -- the only conditions relevant to comparing them."""
+        relevant: Set[int] = set()
+        for eid in eids:
+            for a in self.ancestors(eid) | {eid}:
+                ev = self.events[a]
+                if ev.kind is EventKind.BRANCH:
+                    relevant.add(ev.cond_id)
+                elif ev.kind is EventKind.JOIN_ANY:
+                    for p in ev.preds:
+                        pe = self.events[p]
+                        if pe.kind is EventKind.BRANCH:
+                            relevant.add(pe.cond_id)
+        return sorted(relevant)
+
+    def stats(self) -> Dict[str, int]:
+        by_kind: Dict[str, int] = {}
+        for e in self.events:
+            by_kind[e.kind.value] = by_kind.get(e.kind.value, 0) + 1
+        by_kind["total"] = len(self.events)
+        return by_kind
+
+    def to_dot(self) -> str:
+        """Render the event graph in Graphviz dot format (for figures)."""
+        lines = [f'digraph "{self.name or "event_graph"}" {{']
+        for e in self.events:
+            lines.append(f'  e{e.eid} [label="e{e.eid}\\n{e.label()}"];')
+            for p in e.preds:
+                style = {
+                    EventKind.DELAY: "color=blue",
+                    EventKind.SYNC: "color=black",
+                    EventKind.BRANCH: "color=red",
+                    EventKind.JOIN_ANY: "color=orange",
+                    EventKind.JOIN_ALL: "color=gray",
+                }.get(e.kind, "")
+                lines.append(f"  e{p} -> e{e.eid} [{style}];")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"EventGraph({self.name!r}, {len(self.events)} events)"

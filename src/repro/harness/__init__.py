@@ -1,0 +1,20 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .appendix_a import appendix_a
+from .figures import (
+    figure1,
+    figure2_anvil,
+    figure2_bsv,
+    figure4,
+    figure5,
+    figure6,
+    figure8,
+)
+from .table1 import Table1Row, format_table1, generate_table1
+from .table2 import generate_table2, stream_fifo_safety
+
+__all__ = [
+    "appendix_a", "figure1", "figure2_anvil", "figure2_bsv", "figure4",
+    "figure5", "figure6", "figure8", "Table1Row", "format_table1",
+    "generate_table1", "generate_table2", "stream_fifo_safety",
+]

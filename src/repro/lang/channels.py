@@ -1,0 +1,233 @@
+"""Channels, messages, message contracts and synchronization modes.
+
+A channel type definition (Section 4.1 of the paper) is a template for a
+bidirectional, unbuffered channel with two endpoints (*left* and *right*).
+Each message declares:
+
+* its direction of travel (``LEFT`` = towards the left endpoint);
+* a data type;
+* a *message contract*: the duration after the synchronization event for
+  which the carried value is guaranteed to stay unchanged -- a static
+  ``#k`` cycles or a dynamic "until message m next synchronizes";
+* per-endpoint *sync modes*: ``@dyn`` (run-time valid/ack handshake),
+  static ``@#k`` (ready at most every k cycles) or dependent
+  ``@#m+k`` (exactly k cycles after message ``m``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from ..core.patterns import Duration
+from .types import DataType, Logic
+
+
+class Side(enum.Enum):
+    LEFT = "left"
+    RIGHT = "right"
+
+    @property
+    def other(self) -> "Side":
+        return Side.RIGHT if self is Side.LEFT else Side.LEFT
+
+
+class SyncMode:
+    """Synchronization mode of one side of a message."""
+
+    is_dynamic = False
+
+
+class DynamicSync(SyncMode):
+    """``@dyn`` -- one-bit run-time handshake signal."""
+
+    is_dynamic = True
+
+    def __repr__(self):
+        return "@dyn"
+
+    def __eq__(self, other):
+        return isinstance(other, DynamicSync)
+
+    def __hash__(self):
+        return hash("@dyn")
+
+
+class StaticSync(SyncMode):
+    """``@#k`` -- the side is ready at most every ``k`` cycles after the
+    previous synchronization of the same message."""
+
+    def __init__(self, interval: int):
+        if interval < 1:
+            raise ValueError("static sync interval must be >= 1")
+        self.interval = interval
+
+    def __repr__(self):
+        return f"@#{self.interval}"
+
+    def __eq__(self, other):
+        return isinstance(other, StaticSync) and other.interval == self.interval
+
+    def __hash__(self):
+        return hash(("static", self.interval))
+
+
+class DependentSync(SyncMode):
+    """``@#m+k`` -- synchronizes exactly ``k`` cycles after message ``m``."""
+
+    def __init__(self, message: str, offset: int):
+        if offset < 0:
+            raise ValueError("dependent sync offset must be >= 0")
+        self.message = message
+        self.offset = offset
+
+    def __repr__(self):
+        return f"@#{self.message}+{self.offset}"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, DependentSync)
+            and other.message == self.message
+            and other.offset == self.offset
+        )
+
+    def __hash__(self):
+        return hash(("dep", self.message, self.offset))
+
+
+class LifetimeSpec:
+    """Contract lifetime of a message's payload, relative to its own sync
+    event: either ``#k`` cycles or until message ``m`` next synchronizes."""
+
+    def __init__(self, cycles: Optional[int] = None, message: str = ""):
+        if (cycles is None) == (not message):
+            raise ValueError("specify exactly one of cycles / message")
+        self.cycles = cycles
+        self.message = message
+
+    @staticmethod
+    def static(cycles: int) -> "LifetimeSpec":
+        return LifetimeSpec(cycles=cycles)
+
+    @staticmethod
+    def until(message: str) -> "LifetimeSpec":
+        return LifetimeSpec(message=message)
+
+    @property
+    def is_static(self) -> bool:
+        return self.cycles is not None
+
+    def as_duration(self, endpoint: str) -> Duration:
+        """Instantiate at a concrete endpoint name."""
+        if self.is_static:
+            return Duration.static(self.cycles)
+        return Duration.dynamic(endpoint, self.message)
+
+    def __repr__(self):
+        return f"@#{self.cycles}" if self.is_static else f"@{self.message}"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, LifetimeSpec)
+            and other.cycles == self.cycles
+            and other.message == self.message
+        )
+
+    def __hash__(self):
+        return hash((self.cycles, self.message))
+
+
+class MessageDef:
+    """One message of a channel definition."""
+
+    def __init__(
+        self,
+        name: str,
+        direction: Side,
+        dtype: DataType,
+        lifetime: LifetimeSpec,
+        left_sync: Optional[SyncMode] = None,
+        right_sync: Optional[SyncMode] = None,
+    ):
+        self.name = name
+        self.direction = direction
+        self.dtype = dtype
+        self.lifetime = lifetime
+        self.left_sync = left_sync or DynamicSync()
+        self.right_sync = right_sync or DynamicSync()
+
+    def sync_of(self, side: Side) -> SyncMode:
+        return self.left_sync if side is Side.LEFT else self.right_sync
+
+    @property
+    def fully_dynamic(self) -> bool:
+        return self.left_sync.is_dynamic and self.right_sync.is_dynamic
+
+    def sender_side(self) -> Side:
+        """The side that *sends* this message (opposite its travel
+        direction)."""
+        return self.direction.other
+
+    def __repr__(self):
+        return (
+            f"{self.direction.value} {self.name} : ({self.dtype!r}"
+            f"{self.lifetime!r}) {self.left_sync!r}-{self.right_sync!r}"
+        )
+
+
+class ChannelDef:
+    """A channel type definition: a named collection of messages."""
+
+    def __init__(self, name: str, messages: Sequence[MessageDef]):
+        self.name = name
+        self.messages: Dict[str, MessageDef] = {}
+        for m in messages:
+            if m.name in self.messages:
+                raise ValueError(f"duplicate message {m.name!r} in {name}")
+            self.messages[m.name] = m
+
+    def message(self, name: str) -> MessageDef:
+        try:
+            return self.messages[name]
+        except KeyError:
+            raise KeyError(
+                f"channel {self.name!r} has no message {name!r}"
+            ) from None
+
+    def __iter__(self):
+        return iter(self.messages.values())
+
+    def __repr__(self):
+        return f"chan {self.name} {{{len(self.messages)} messages}}"
+
+
+def simple_channel(
+    name: str,
+    req_width: int = 8,
+    res_width: int = 8,
+    req_lifetime: Optional[LifetimeSpec] = None,
+    res_lifetime: Optional[LifetimeSpec] = None,
+) -> ChannelDef:
+    """Convenience constructor for the ubiquitous request/response channel.
+
+    ``req`` travels right (the left endpoint is the client), ``res`` travels
+    left.  Default contracts are the paper's dynamic memory contract:
+    ``req`` stays valid until ``res``, and ``res`` for one cycle.
+    """
+    return ChannelDef(
+        name,
+        [
+            MessageDef(
+                "req",
+                Side.RIGHT,
+                Logic(req_width),
+                req_lifetime or LifetimeSpec.until("res"),
+            ),
+            MessageDef(
+                "res",
+                Side.LEFT,
+                Logic(res_width),
+                res_lifetime or LifetimeSpec.static(1),
+            ),
+        ],
+    )

@@ -1,0 +1,441 @@
+"""Textual front-end for the paper's concrete syntax (a pragmatic subset).
+
+Parses channel and process definitions in the style of Section 4::
+
+    chan cache_ch {
+      left  req : (logic[8] @res) @dyn-@dyn,
+      right res : (logic[8] @#1)
+    }
+
+    proc top(mem : left cache_ch) {
+      reg address : logic[8];
+      loop {
+        send mem.req (*address) >>
+        let d = recv mem.res >>
+        set address := *address + 1
+      }
+    }
+
+and produces the same :class:`~repro.lang.process.Process` /
+:class:`~repro.lang.channels.ChannelDef` objects as the Python DSL, so
+parsed designs go through the identical type checker and compiler.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParseError
+from .channels import (
+    ChannelDef,
+    DependentSync,
+    DynamicSync,
+    LifetimeSpec,
+    MessageDef,
+    Side,
+    StaticSync,
+    SyncMode,
+)
+from .process import Process
+from .terms import (
+    Term,
+    cycle,
+    if_,
+    let,
+    lit,
+    par,
+    read,
+    recv,
+    send,
+    set_reg,
+    unit,
+    var,
+)
+from .types import Logic
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>0x[0-9a-fA-F]+|\d+'d\d+|\d+'h[0-9a-fA-F]+|\d+'b[01]+|\d+)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>:=|->|>>|==|!=|<=|>=|[@#{}()\[\],.;:+\-*^&|~<>=])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "chan", "proc", "reg", "loop", "recursive", "left", "right",
+    "logic", "send", "recv", "set", "let", "if", "else", "cycle",
+    "dyn", "in",
+}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: List[Tuple[str, str, int]] = []  # (kind, value, line)
+        line = 1
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if not m:
+                raise ParseError(f"unexpected character {text[pos]!r}", line)
+            pos = m.end()
+            kind = m.lastgroup
+            value = m.group()
+            line += value.count("\n")
+            if kind == "ws":
+                continue
+            self.items.append((kind, value, line))
+        self.i = 0
+
+    def peek(self, offset: int = 0) -> Tuple[str, str, int]:
+        if self.i + offset >= len(self.items):
+            return ("eof", "", -1)
+        return self.items[self.i + offset]
+
+    def next(self) -> Tuple[str, str, int]:
+        t = self.peek()
+        self.i += 1
+        return t
+
+    def expect(self, value: str) -> Tuple[str, str, int]:
+        kind, v, line = self.next()
+        if v != value:
+            raise ParseError(f"expected {value!r}, got {v!r}", line)
+        return kind, v, line
+
+    def accept(self, value: str) -> bool:
+        if self.peek()[1] == value:
+            self.next()
+            return True
+        return False
+
+    @property
+    def done(self) -> bool:
+        return self.i >= len(self.items)
+
+
+def _parse_number(text: str) -> Tuple[int, Optional[int]]:
+    """Returns (value, width or None) for verilog-style literals."""
+    if "'" in text:
+        width_s, rest = text.split("'", 1)
+        base = rest[0]
+        digits = rest[1:]
+        value = int(digits, {"d": 10, "h": 16, "b": 2}[base])
+        return value, int(width_s)
+    if text.startswith("0x"):
+        return int(text, 16), None
+    return int(text), None
+
+
+class Parser:
+    """Recursive-descent parser producing ChannelDef / Process objects."""
+
+    def __init__(self, text: str):
+        self.toks = _Tokens(text)
+        self.channels: Dict[str, ChannelDef] = {}
+        self.processes: Dict[str, Process] = {}
+
+    # ------------------------------------------------------------------
+    def parse(self) -> "Parser":
+        while not self.toks.done:
+            kind, value, line = self.toks.peek()
+            if value == "chan":
+                self._parse_channel()
+            elif value == "proc":
+                self._parse_process()
+            else:
+                raise ParseError(
+                    f"expected 'chan' or 'proc', got {value!r}", line
+                )
+        return self
+
+    # -- channels ----------------------------------------------------------
+    def _parse_dtype(self) -> Logic:
+        self.toks.expect("logic")
+        width = 1
+        if self.toks.accept("["):
+            _, num, _ = self.toks.next()
+            width = int(num)
+            self.toks.expect("]")
+        return Logic(width)
+
+    def _parse_lifetime(self) -> LifetimeSpec:
+        self.toks.expect("@")
+        if self.toks.accept("#"):
+            _, num, _ = self.toks.next()
+            return LifetimeSpec.static(int(num))
+        _, name, _ = self.toks.next()
+        return LifetimeSpec.until(name)
+
+    def _parse_sync_mode(self) -> SyncMode:
+        self.toks.expect("@")
+        if self.toks.accept("dyn"):
+            return DynamicSync()
+        self.toks.expect("#")
+        kind, tok, line = self.toks.next()
+        if kind == "num":
+            return StaticSync(int(tok))
+        # dependent: @#msg+k
+        msg = tok
+        offset = 0
+        if self.toks.accept("+"):
+            _, num, _ = self.toks.next()
+            offset = int(num)
+        return DependentSync(msg, offset)
+
+    def _parse_channel(self):
+        self.toks.expect("chan")
+        _, name, _ = self.toks.next()
+        self.toks.expect("{")
+        messages: List[MessageDef] = []
+        while not self.toks.accept("}"):
+            _, side_s, line = self.toks.next()
+            if side_s not in ("left", "right"):
+                raise ParseError(
+                    f"expected message direction, got {side_s!r}", line
+                )
+            direction = Side.LEFT if side_s == "left" else Side.RIGHT
+            _, mname, _ = self.toks.next()
+            self.toks.expect(":")
+            self.toks.expect("(")
+            dtype = self._parse_dtype()
+            lifetime = self._parse_lifetime()
+            self.toks.expect(")")
+            left_sync: Optional[SyncMode] = None
+            right_sync: Optional[SyncMode] = None
+            if self.toks.peek()[1] == "@":
+                left_sync = self._parse_sync_mode()
+                self.toks.expect("-")
+                right_sync = self._parse_sync_mode()
+            messages.append(MessageDef(
+                mname, direction, dtype, lifetime, left_sync, right_sync,
+            ))
+            self.toks.accept(",")
+        self.channels[name] = ChannelDef(name, messages)
+
+    # -- processes ----------------------------------------------------------
+    def _parse_process(self):
+        self.toks.expect("proc")
+        _, name, _ = self.toks.next()
+        proc = Process(name)
+        self.toks.expect("(")
+        while not self.toks.accept(")"):
+            _, ep_name, _ = self.toks.next()
+            self.toks.expect(":")
+            _, side_s, line = self.toks.next()
+            if side_s not in ("left", "right"):
+                raise ParseError(f"expected endpoint side, got {side_s!r}",
+                                 line)
+            _, ch_name, line = self.toks.next()
+            if ch_name not in self.channels:
+                raise ParseError(f"unknown channel {ch_name!r}", line)
+            proc.endpoint(
+                ep_name, self.channels[ch_name],
+                Side.LEFT if side_s == "left" else Side.RIGHT,
+            )
+            self.toks.accept(",")
+        self.toks.expect("{")
+        while not self.toks.accept("}"):
+            kind, value, line = self.toks.peek()
+            if value == "reg":
+                self.toks.next()
+                _, rname, _ = self.toks.next()
+                self.toks.expect(":")
+                dtype = self._parse_dtype()
+                self.toks.accept(";")
+                proc.register(rname, dtype)
+            elif value in ("loop", "recursive"):
+                self.toks.next()
+                self.toks.expect("{")
+                body = self._parse_term()
+                self.toks.expect("}")
+                if value == "loop":
+                    proc.loop(body)
+                else:
+                    proc.recursive(body)
+            else:
+                raise ParseError(
+                    f"expected 'reg', 'loop' or 'recursive', got {value!r}",
+                    line,
+                )
+        self.processes[name] = proc
+
+    # -- terms ---------------------------------------------------------------
+    def _parse_term(self) -> Term:
+        """wait-chains bind loosest:  t1 >> t2 >> t3."""
+        t = self._parse_par()
+        while self.toks.accept(">>"):
+            t = t >> self._parse_par()
+        return t
+
+    def _parse_par(self) -> Term:
+        t = self._parse_simple()
+        while self.toks.accept(";"):
+            if self.toks.peek()[1] in ("}", ")"):   # trailing semicolon
+                break
+            t = par(t, self._parse_simple())
+        return t
+
+    def _parse_simple(self) -> Term:
+        kind, value, line = self.toks.peek()
+        if value == "{":
+            self.toks.next()
+            t = self._parse_term()
+            self.toks.expect("}")
+            return t
+        if value == "send":
+            self.toks.next()
+            ep, msg = self._parse_endpoint_msg()
+            self.toks.expect("(")
+            payload = self._parse_expr()
+            self.toks.expect(")")
+            return send(ep, msg, payload)
+        if value == "recv":
+            self.toks.next()
+            ep, msg = self._parse_endpoint_msg()
+            return recv(ep, msg)
+        if value == "set":
+            self.toks.next()
+            _, rname, _ = self.toks.next()
+            self.toks.expect(":=")
+            return set_reg(rname, self._parse_expr())
+        if value == "let":
+            self.toks.next()
+            _, vname, _ = self.toks.next()
+            self.toks.expect("=")
+            bound = self._parse_simple()
+            if self.toks.accept("in"):
+                body = self._parse_term()
+            elif self.toks.accept(">>"):
+                body = self._parse_term()
+            else:
+                body = unit()
+            return let(vname, bound, body)
+        if value == "cycle":
+            self.toks.next()
+            _, num, _ = self.toks.next()
+            return cycle(int(num))
+        if value == "if":
+            self.toks.next()
+            cond = self._parse_expr()
+            self.toks.expect("{")
+            then = self._parse_term()
+            self.toks.expect("}")
+            els = None
+            if self.toks.accept("else"):
+                self.toks.expect("{")
+                els = self._parse_term()
+                self.toks.expect("}")
+            return if_(cond, then, els)
+        # fall back to an expression-as-term (e.g. a var reference wait)
+        return self._parse_expr()
+
+    def _parse_endpoint_msg(self) -> Tuple[str, str]:
+        _, ep, _ = self.toks.next()
+        self.toks.expect(".")
+        _, msg, _ = self.toks.next()
+        return ep, msg
+
+    # -- expressions (precedence: cmp < or < xor < and < add < unary) -------
+    def _parse_expr(self) -> Term:
+        t = self._parse_or()
+        while True:
+            v = self.toks.peek()[1]
+            if v == "==":
+                self.toks.next()
+                t = t.eq(self._parse_or())
+            elif v == "!=":
+                self.toks.next()
+                t = t.ne(self._parse_or())
+            elif v == "<":
+                self.toks.next()
+                t = t.lt(self._parse_or())
+            elif v == ">":
+                self.toks.next()
+                t = t.gt(self._parse_or())
+            elif v == "<=":
+                self.toks.next()
+                t = t.le(self._parse_or())
+            elif v == ">=":
+                self.toks.next()
+                t = t.ge(self._parse_or())
+            else:
+                return t
+
+    def _parse_or(self) -> Term:
+        t = self._parse_xor()
+        while self.toks.peek()[1] == "|":
+            self.toks.next()
+            t = t | self._parse_xor()
+        return t
+
+    def _parse_xor(self) -> Term:
+        t = self._parse_and()
+        while self.toks.peek()[1] == "^":
+            self.toks.next()
+            t = t ^ self._parse_and()
+        return t
+
+    def _parse_and(self) -> Term:
+        t = self._parse_add()
+        while self.toks.peek()[1] == "&":
+            self.toks.next()
+            t = t & self._parse_add()
+        return t
+
+    def _parse_add(self) -> Term:
+        t = self._parse_unary()
+        while self.toks.peek()[1] in ("+", "-"):
+            op = self.toks.next()[1]
+            rhs = self._parse_unary()
+            t = t + rhs if op == "+" else t - rhs
+        return t
+
+    def _parse_unary(self) -> Term:
+        kind, value, line = self.toks.peek()
+        if value == "*":
+            self.toks.next()
+            _, rname, _ = self.toks.next()
+            return read(rname)
+        if value == "~":
+            self.toks.next()
+            return ~self._parse_unary()
+        if value == "(":
+            self.toks.next()
+            t = self._parse_expr()
+            self.toks.expect(")")
+            return t
+        if kind == "num":
+            self.toks.next()
+            v, width = _parse_number(value)
+            return lit(v, width)
+        if kind == "id" and value not in KEYWORDS:
+            self.toks.next()
+            return var(value)
+        raise ParseError(f"unexpected token {value!r} in expression", line)
+
+
+def parse(text: str) -> Parser:
+    """Parse Anvil source text; returns the parser with ``.channels`` and
+    ``.processes`` populated."""
+    return Parser(text).parse()
+
+
+def parse_process(text: str, name: Optional[str] = None) -> Process:
+    """Parse source text and return one process (the only one, or by
+    name)."""
+    p = parse(text)
+    if not p.processes:
+        raise ParseError("no process definitions found")
+    if name is None:
+        if len(p.processes) > 1:
+            raise ParseError(
+                f"multiple processes defined: {sorted(p.processes)}; "
+                "pass a name"
+            )
+        return next(iter(p.processes.values()))
+    if name not in p.processes:
+        raise ParseError(f"no process named {name!r}")
+    return p.processes[name]

@@ -1,0 +1,587 @@
+"""The term language of Anvil (Section 4.4--4.5) as a Python-embedded DSL.
+
+Terms describe both computation and timing.  Every term evaluates to a value
+(possibly the empty/unit value) and the evaluation may take multiple cycles.
+The two timing-control operators are:
+
+* ``t1 >> t2`` (the *wait* operator): evaluate ``t2`` only after ``t1``
+  completes;
+* ``par(t1, t2)`` (the paper's ``t1; t2``): start both in parallel, the
+  combined term completes when both have.
+
+Python operator overloads build combinational expressions::
+
+    (read("a") ^ lit(0xff, 8)) + read("b")
+
+``==``/``!=`` are kept as *structural identity* on AST nodes (so terms can
+live in sets and dicts); use :meth:`Term.eq` / :meth:`Term.ne` for the
+hardware comparison operators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from .types import DataType, Logic
+
+TermLike = Union["Term", int, bool]
+
+
+def _coerce(value: TermLike) -> "Term":
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return Literal(int(value), Logic(1))
+    if isinstance(value, int):
+        return Literal(value, None)
+    raise TypeError(f"cannot use {value!r} as an Anvil term")
+
+
+class Term:
+    """Base class of all Anvil terms."""
+
+    # -- timing-control operators ---------------------------------------
+    def __rshift__(self, other: TermLike) -> "Wait":
+        return Wait(self, _coerce(other))
+
+    def then(self, other: TermLike) -> "Wait":
+        return Wait(self, _coerce(other))
+
+    # -- combinational operators ----------------------------------------
+    def __add__(self, o):
+        return BinOp("add", self, _coerce(o))
+
+    def __radd__(self, o):
+        return BinOp("add", _coerce(o), self)
+
+    def __sub__(self, o):
+        return BinOp("sub", self, _coerce(o))
+
+    def __rsub__(self, o):
+        return BinOp("sub", _coerce(o), self)
+
+    def __mul__(self, o):
+        return BinOp("mul", self, _coerce(o))
+
+    def __rmul__(self, o):
+        return BinOp("mul", _coerce(o), self)
+
+    def __xor__(self, o):
+        return BinOp("xor", self, _coerce(o))
+
+    def __rxor__(self, o):
+        return BinOp("xor", _coerce(o), self)
+
+    def __and__(self, o):
+        return BinOp("and", self, _coerce(o))
+
+    def __rand__(self, o):
+        return BinOp("and", _coerce(o), self)
+
+    def __or__(self, o):
+        return BinOp("or", self, _coerce(o))
+
+    def __ror__(self, o):
+        return BinOp("or", _coerce(o), self)
+
+    def __lshift__(self, o):
+        return BinOp("shl", self, _coerce(o))
+
+    def __invert__(self):
+        return UnOp("not", self)
+
+    # comparisons as named methods (== stays structural identity)
+    def eq(self, o):
+        return BinOp("eq", self, _coerce(o))
+
+    def ne(self, o):
+        return BinOp("ne", self, _coerce(o))
+
+    def lt(self, o):
+        return BinOp("lt", self, _coerce(o))
+
+    def le(self, o):
+        return BinOp("le", self, _coerce(o))
+
+    def gt(self, o):
+        return BinOp("gt", self, _coerce(o))
+
+    def ge(self, o):
+        return BinOp("ge", self, _coerce(o))
+
+    def shr(self, o):
+        return BinOp("shr", self, _coerce(o))
+
+    def concat(self, o):
+        """Bit concatenation; ``self`` becomes the high bits."""
+        return BinOp("concat", self, _coerce(o))
+
+    def field(self, name: str) -> "Field":
+        return Field(self, name)
+
+    def bits(self, hi: int, lo: int) -> "Slice":
+        return Slice(self, hi, lo)
+
+    def bit(self, i: int) -> "Slice":
+        return Slice(self, i, i)
+
+    def children(self) -> Tuple["Term", ...]:
+        return ()
+
+    def __repr__(self):
+        return f"{type(self).__name__}"
+
+
+class Literal(Term):
+    """A constant.  Lifetime is eternal."""
+
+    def __init__(self, value: int, dtype: Optional[DataType] = None):
+        self.value = value
+        self.dtype = dtype
+
+    def __repr__(self):
+        return f"Lit({self.value})"
+
+
+class Var(Term):
+    """Reference to a let-bound name; completes when the binding has."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self):
+        return f"Var({self.name})"
+
+
+class ReadReg(Term):
+    """``*r`` -- the signal carrying the current value of register ``r``."""
+
+    def __init__(self, reg: str):
+        self.reg = reg
+
+    def __repr__(self):
+        return f"*{self.reg}"
+
+
+class BinOp(Term):
+    OPS = {
+        "add", "sub", "mul", "and", "or", "xor", "eq", "ne",
+        "lt", "le", "gt", "ge", "shl", "shr", "concat",
+    }
+
+    def __init__(self, op: str, a: Term, b: Term):
+        if op not in self.OPS:
+            raise ValueError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def children(self):
+        return (self.a, self.b)
+
+    def __repr__(self):
+        return f"({self.a!r} {self.op} {self.b!r})"
+
+
+class UnOp(Term):
+    OPS = {"not", "neg", "redor", "redand", "redxor"}
+
+    def __init__(self, op: str, a: Term):
+        if op not in self.OPS:
+            raise ValueError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.a = a
+
+    def children(self):
+        return (self.a,)
+
+    def __repr__(self):
+        return f"({self.op} {self.a!r})"
+
+
+class Field(Term):
+    def __init__(self, a: Term, name: str):
+        self.a = a
+        self.name = name
+
+    def children(self):
+        return (self.a,)
+
+    def __repr__(self):
+        return f"{self.a!r}.{self.name}"
+
+
+class Slice(Term):
+    def __init__(self, a: Term, hi: int, lo: int):
+        if hi < lo:
+            raise ValueError("slice hi < lo")
+        self.a = a
+        self.hi = hi
+        self.lo = lo
+
+    def children(self):
+        return (self.a,)
+
+    def __repr__(self):
+        return f"{self.a!r}[{self.hi}:{self.lo}]"
+
+
+class BundleLit(Term):
+    """Construct a bundle value from per-field terms."""
+
+    def __init__(self, dtype, fields: Dict[str, TermLike]):
+        self.dtype = dtype
+        self.fields = {k: _coerce(v) for k, v in fields.items()}
+
+    def children(self):
+        return tuple(self.fields.values())
+
+    def __repr__(self):
+        return f"Bundle({list(self.fields)})"
+
+
+class Cycle(Term):
+    """``cycle N`` -- evaluate to unit after N cycles (timing control)."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("cycle count must be >= 0")
+        self.n = n
+
+    def __repr__(self):
+        return f"cycle{self.n}"
+
+
+class Send(Term):
+    """``send ep.m(payload)`` -- completes when the message synchronizes."""
+
+    def __init__(self, endpoint: str, message: str, payload: TermLike):
+        self.endpoint = endpoint
+        self.message = message
+        self.payload = _coerce(payload)
+
+    def children(self):
+        return (self.payload,)
+
+    def __repr__(self):
+        return f"send {self.endpoint}.{self.message}"
+
+
+class Recv(Term):
+    """``recv ep.m`` -- completes when the message synchronizes; evaluates
+    to the received value with the contract's lifetime."""
+
+    def __init__(self, endpoint: str, message: str):
+        self.endpoint = endpoint
+        self.message = message
+
+    def __repr__(self):
+        return f"recv {self.endpoint}.{self.message}"
+
+
+class TrySend(Term):
+    """Non-blocking send: offers the message for exactly this cycle and
+    completes immediately; evaluates to a 1-bit success flag (the
+    counterpart was ready and the value transferred).
+
+    This is the primitive behind stream-style interfaces (FIFOs, spill
+    registers): the producer can retract or change the offer next cycle,
+    which is safe because the contract window is the single offer cycle.
+    """
+
+    def __init__(self, endpoint: str, message: str, payload: TermLike,
+                 guard: Optional[TermLike] = None):
+        self.endpoint = endpoint
+        self.message = message
+        self.payload = _coerce(payload)
+        self.guard = _coerce(guard) if guard is not None else None
+
+    def children(self):
+        if self.guard is None:
+            return (self.payload,)
+        return (self.payload, self.guard)
+
+    def __repr__(self):
+        return f"try_send {self.endpoint}.{self.message}"
+
+
+class TryRecv(Term):
+    """Non-blocking receive: accepts the message if it is being offered
+    this cycle and completes immediately.  Evaluates to a value one bit
+    wider than the message: ``{valid, data}`` with ``valid`` as the MSB."""
+
+    def __init__(self, endpoint: str, message: str,
+                 guard: Optional[TermLike] = None):
+        self.endpoint = endpoint
+        self.message = message
+        self.guard = _coerce(guard) if guard is not None else None
+
+    def children(self):
+        return () if self.guard is None else (self.guard,)
+
+    def __repr__(self):
+        return f"try_recv {self.endpoint}.{self.message}"
+
+
+class Table(Term):
+    """Combinational lookup table (LUT): ``entries[index]``.
+
+    The index is truncated to ``ceil(log2(len(entries)))`` bits.  This is
+    how ROM-style logic such as the AES S-box is expressed, matching the
+    LUT-mapped S-box of the OpenTitan core the paper evaluates."""
+
+    def __init__(self, index: TermLike, entries, width: Optional[int] = None):
+        entries = tuple(int(v) for v in entries)
+        if not entries:
+            raise ValueError("table needs at least one entry")
+        self.index = _coerce(index)
+        self.entries = entries
+        self.width = width or max(max(entries).bit_length(), 1)
+
+    def children(self):
+        return (self.index,)
+
+    def __repr__(self):
+        return f"table[{len(self.entries)}]"
+
+
+class Ready(Term):
+    """``ready(ep.m)`` -- 1-bit signal: counterpart currently offering m."""
+
+    def __init__(self, endpoint: str, message: str):
+        self.endpoint = endpoint
+        self.message = message
+
+    def __repr__(self):
+        return f"ready({self.endpoint}.{self.message})"
+
+
+class Let(Term):
+    """``let x = bound in body``.
+
+    Both ``bound`` and ``body`` start evaluating immediately (the paper's
+    async/await-like composition); a :class:`Var` reference to ``x`` inside
+    ``body`` waits for ``bound`` to complete.
+    """
+
+    def __init__(self, name: str, bound: TermLike, body: TermLike):
+        self.name = name
+        self.bound = _coerce(bound)
+        self.body = _coerce(body)
+
+    def children(self):
+        return (self.bound, self.body)
+
+    def __repr__(self):
+        return f"let {self.name} = {self.bound!r} in ..."
+
+
+class If(Term):
+    """``if cond then t else e``; the else branch defaults to unit."""
+
+    def __init__(self, cond: TermLike, then: TermLike, els: Optional[TermLike] = None):
+        self.cond = _coerce(cond)
+        self.then = _coerce(then)
+        self.els = _coerce(els) if els is not None else None
+
+    def children(self):
+        if self.els is None:
+            return (self.cond, self.then)
+        return (self.cond, self.then, self.els)
+
+    def __repr__(self):
+        return f"if {self.cond!r} ..."
+
+
+class Mux(Term):
+    """Combinational 2:1 select: ``cond ? a : b``.
+
+    Unlike :class:`If`, a mux is a pure value -- all three operands are
+    wires evaluated in place and no control-flow events are created."""
+
+    def __init__(self, cond: TermLike, a: TermLike, b: TermLike):
+        self.cond = _coerce(cond)
+        self.a = _coerce(a)
+        self.b = _coerce(b)
+
+    def children(self):
+        return (self.cond, self.a, self.b)
+
+    def __repr__(self):
+        return f"({self.cond!r} ? {self.a!r} : {self.b!r})"
+
+
+class SetReg(Term):
+    """``set r := t`` -- register mutation; completes after one cycle."""
+
+    def __init__(self, reg: str, value: TermLike):
+        self.reg = reg
+        self.value = _coerce(value)
+
+    def children(self):
+        return (self.value,)
+
+    def __repr__(self):
+        return f"set {self.reg} := {self.value!r}"
+
+
+class Wait(Term):
+    """``t1 >> t2`` -- the wait operator."""
+
+    def __init__(self, first: TermLike, second: TermLike):
+        self.first = _coerce(first)
+        self.second = _coerce(second)
+
+    def children(self):
+        return (self.first, self.second)
+
+    def __repr__(self):
+        return f"({self.first!r} >> {self.second!r})"
+
+
+class Par(Term):
+    """``t1; t2`` -- start both in parallel; completes when both have;
+    evaluates to the second term's value."""
+
+    def __init__(self, first: TermLike, second: TermLike):
+        self.first = _coerce(first)
+        self.second = _coerce(second)
+
+    def children(self):
+        return (self.first, self.second)
+
+    def __repr__(self):
+        return f"({self.first!r}; {self.second!r})"
+
+
+class DPrint(Term):
+    """Simulation-only debug print (the paper's ``dprint``)."""
+
+    def __init__(self, fmt: str, arg: Optional[TermLike] = None):
+        self.fmt = fmt
+        self.arg = _coerce(arg) if arg is not None else None
+
+    def children(self):
+        return (self.arg,) if self.arg is not None else ()
+
+    def __repr__(self):
+        return f"dprint({self.fmt!r})"
+
+
+class Recurse(Term):
+    """``recurse`` -- restart a ``recursive`` thread from its beginning
+    (a new overlapped iteration); only valid inside recursive threads."""
+
+    def __repr__(self):
+        return "recurse"
+
+
+class Unit(Term):
+    """The empty value ``()``."""
+
+    def __repr__(self):
+        return "()"
+
+
+# ----------------------------------------------------------------------
+# builder helpers (the public DSL surface)
+# ----------------------------------------------------------------------
+def lit(value: int, width: Optional[int] = None) -> Literal:
+    """A literal; ``lit(5, 8)`` is the paper's ``8'd5``."""
+    return Literal(value, Logic(width) if width else None)
+
+
+def read(reg: str) -> ReadReg:
+    """``*reg``."""
+    return ReadReg(reg)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def recv(endpoint: str, message: str) -> Recv:
+    return Recv(endpoint, message)
+
+
+def send(endpoint: str, message: str, payload: TermLike) -> Send:
+    return Send(endpoint, message, payload)
+
+
+def ready(endpoint: str, message: str) -> Ready:
+    return Ready(endpoint, message)
+
+
+def try_send(endpoint: str, message: str, payload: TermLike,
+             guard: Optional[TermLike] = None) -> TrySend:
+    """Non-blocking send, optionally gated: the offer (valid) is only
+    asserted while ``guard`` holds."""
+    return TrySend(endpoint, message, payload, guard)
+
+
+def try_recv(endpoint: str, message: str,
+             guard: Optional[TermLike] = None) -> TryRecv:
+    """Non-blocking receive, optionally gated: acceptance (ack) is only
+    asserted while ``guard`` holds."""
+    return TryRecv(endpoint, message, guard)
+
+
+def table(index: TermLike, entries, width: Optional[int] = None) -> Table:
+    return Table(index, entries, width)
+
+
+def cycle(n: int = 1) -> Cycle:
+    return Cycle(n)
+
+
+def let(name: str, bound: TermLike, body: TermLike) -> Let:
+    return Let(name, bound, body)
+
+
+def if_(cond: TermLike, then: TermLike, els: Optional[TermLike] = None) -> If:
+    return If(cond, then, els)
+
+
+def set_reg(reg: str, value: TermLike) -> SetReg:
+    return SetReg(reg, value)
+
+
+def par(*terms: TermLike) -> Term:
+    """``t1; t2; ...`` -- parallel composition, left-assoc."""
+    if not terms:
+        return Unit()
+    acc = _coerce(terms[0])
+    for t in terms[1:]:
+        acc = Par(acc, _coerce(t))
+    return acc
+
+
+def seq(*terms: TermLike) -> Term:
+    """``t1 >> t2 >> ...`` -- sequential composition, left-assoc."""
+    if not terms:
+        return Unit()
+    acc = _coerce(terms[0])
+    for t in terms[1:]:
+        acc = Wait(acc, _coerce(t))
+    return acc
+
+
+def dprint(fmt: str, arg: Optional[TermLike] = None) -> DPrint:
+    return DPrint(fmt, arg)
+
+
+def recurse() -> Recurse:
+    return Recurse()
+
+
+def unit() -> Unit:
+    return Unit()
+
+
+def mux(cond: TermLike, a: TermLike, b: TermLike) -> Mux:
+    """Combinational 2:1 mux (a pure value; no control flow)."""
+    return Mux(cond, a, b)
+
+
+def bundle(dtype, **fields: TermLike) -> BundleLit:
+    return BundleLit(dtype, fields)

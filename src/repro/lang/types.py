@@ -1,0 +1,115 @@
+"""Hardware data types: ``logic[N]`` vectors and named bundles (structs).
+
+Values of every type are carried as Python integers masked to the type's
+width; bundles pack their fields LSB-first, mirroring SystemVerilog packed
+structs, so a bundle is interchangeable with a ``logic`` vector of the same
+total width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class DataType:
+    """Base class for hardware data types."""
+
+    @property
+    def width(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def mask(self, value: int) -> int:
+        return value & ((1 << self.width) - 1)
+
+
+class Logic(DataType):
+    """A ``logic[N]`` bit vector.  ``Logic(1)`` is a single wire."""
+
+    __slots__ = ("_width",)
+
+    def __init__(self, width: int = 1):
+        if width <= 0:
+            raise ValueError("logic width must be positive")
+        self._width = width
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def __eq__(self, other):
+        return isinstance(other, Logic) and other._width == self._width
+
+    def __hash__(self):
+        return hash(("logic", self._width))
+
+    def __repr__(self):
+        return f"logic[{self._width}]"
+
+
+class Bundle(DataType):
+    """A packed struct of named fields, LSB-first.
+
+    >>> pair = Bundle([("addr", Logic(8)), ("data", Logic(8))])
+    >>> pair.width
+    16
+    >>> pair.pack({"addr": 0x12, "data": 0x34})
+    13330
+    """
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: List[Tuple[str, DataType]]):
+        if not fields:
+            raise ValueError("bundle needs at least one field")
+        self.fields: Tuple[Tuple[str, DataType], ...] = tuple(fields)
+        names = [n for n, _ in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field names in bundle")
+
+    @property
+    def width(self) -> int:
+        return sum(t.width for _, t in self.fields)
+
+    def field_range(self, name: str) -> Tuple[int, int]:
+        """Return ``(lo_bit, width)`` of a field."""
+        lo = 0
+        for n, t in self.fields:
+            if n == name:
+                return lo, t.width
+            lo += t.width
+        raise KeyError(f"no field {name!r} in bundle")
+
+    def field_type(self, name: str) -> DataType:
+        for n, t in self.fields:
+            if n == name:
+                return t
+        raise KeyError(f"no field {name!r} in bundle")
+
+    def pack(self, values: Dict[str, int]) -> int:
+        out = 0
+        lo = 0
+        for n, t in self.fields:
+            out |= t.mask(values.get(n, 0)) << lo
+            lo += t.width
+        return out
+
+    def unpack(self, value: int) -> Dict[str, int]:
+        out = {}
+        lo = 0
+        for n, t in self.fields:
+            out[n] = (value >> lo) & ((1 << t.width) - 1)
+            lo += t.width
+        return out
+
+    def __eq__(self, other):
+        return isinstance(other, Bundle) and other.fields == self.fields
+
+    def __hash__(self):
+        return hash(("bundle", self.fields))
+
+    def __repr__(self):
+        inner = ", ".join(f"{n}: {t!r}" for n, t in self.fields)
+        return f"{{{inner}}}"
+
+
+BIT = Logic(1)

@@ -1,0 +1,65 @@
+"""Wires: the signals connecting RTL modules.
+
+A :class:`Wire` carries an integer masked to its width.  Wires are *stateless*
+-- their values are re-derived during the combinational settling phase of
+every cycle -- which is exactly the property whose misuse the Anvil paper
+calls a timing hazard.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Wire:
+    """A named signal with a width and a current value."""
+
+    __slots__ = ("name", "width", "value", "driver")
+
+    def __init__(self, name: str, width: int = 1, value: int = 0):
+        self.name = name
+        self.width = width
+        self.value = value & self.mask
+        self.driver: Optional[str] = None
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def set(self, value: int):
+        self.value = value & self.mask
+
+    def get(self) -> int:
+        return self.value
+
+    @property
+    def bool(self) -> bool:
+        return bool(self.value)
+
+    def __repr__(self):
+        return f"Wire({self.name}={self.value:#x}/{self.width}b)"
+
+
+class WireBundle:
+    """A dict-like group of wires (e.g. one message's data/valid/ack)."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.wires = {}
+
+    def add(self, name: str, width: int = 1) -> Wire:
+        w = Wire(f"{self.prefix}.{name}", width)
+        self.wires[name] = w
+        return w
+
+    def __getitem__(self, name: str) -> Wire:
+        return self.wires[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.wires
+
+    def values(self):
+        return self.wires.values()
+
+    def __repr__(self):
+        return f"WireBundle({self.prefix}, {list(self.wires)})"

@@ -1,0 +1,105 @@
+"""Two-phase cycle-based RTL simulator.
+
+Each cycle:
+
+1. **settle** -- run every module's combinational logic repeatedly until no
+   wire changes value (a bounded fixpoint; divergence indicates a
+   combinational loop and raises :class:`~repro.errors.SimulationError`);
+2. **sample** -- the waveform recorder captures the settled wire values
+   (this is what the paper's waveform figures show);
+3. **tick** -- every module's clock edge updates its registers.
+
+The simulator also exposes an *activity* counter per wire (toggle counts),
+which feeds the dynamic-power estimate of the synthesis cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SimulationError
+from .module import Module
+from .waveform import Waveform
+
+
+class Simulator:
+    def __init__(self, name: str = "sim", max_settle_iters: int = 64):
+        self.name = name
+        self.modules: List[Module] = []
+        self.cycle = 0
+        self.max_settle_iters = max_settle_iters
+        self.waveform = Waveform()
+        self.activity: Dict[str, int] = {}
+        self._prev_values: Dict[int, int] = {}
+        self._monitors: List[Callable[[int], None]] = []
+
+    def add(self, module: Module) -> Module:
+        self.modules.append(module)
+        return module
+
+    def watch(self, wire, label: str = ""):
+        """Record a wire in the waveform output."""
+        self.waveform.watch(wire, label)
+
+    def on_cycle(self, fn: Callable[[int], None]):
+        """Register a monitor callback invoked after each settle phase."""
+        self._monitors.append(fn)
+
+    # ------------------------------------------------------------------
+    def _all_wires(self):
+        for m in self.modules:
+            yield from m.wires()
+
+    def settle(self):
+        for iteration in range(self.max_settle_iters):
+            before = {id(w): w.value for w in self._all_wires()}
+            for m in self.modules:
+                m.eval_comb()
+            after = {id(w): w.value for w in self._all_wires()}
+            if before == after:
+                return iteration + 1
+        raise SimulationError(
+            f"combinational logic did not settle in "
+            f"{self.max_settle_iters} iterations at cycle {self.cycle}"
+        )
+
+    def step(self):
+        """Advance one full clock cycle."""
+        self.settle()
+        # toggle counting for the power model
+        for w in self._all_wires():
+            prev = self._prev_values.get(id(w))
+            if prev is not None and prev != w.value:
+                self.activity[w.name] = (
+                    self.activity.get(w.name, 0)
+                    + bin(prev ^ w.value).count("1")
+                )
+            self._prev_values[id(w)] = w.value
+        self.waveform.sample(self.cycle)
+        for fn in self._monitors:
+            fn(self.cycle)
+        for m in self.modules:
+            m.tick()
+        self.cycle += 1
+
+    def run(self, cycles: int):
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(self, predicate: Callable[[], bool], limit: int = 10000):
+        """Step until ``predicate()`` or the cycle limit; returns cycles
+        elapsed."""
+        start = self.cycle
+        while not predicate():
+            if self.cycle - start >= limit:
+                raise SimulationError(
+                    f"run_until exceeded {limit} cycles"
+                )
+            self.step()
+        return self.cycle - start
+
+    def total_activity(self) -> int:
+        return sum(self.activity.values())
+
+    def __repr__(self):
+        return f"Simulator({self.name!r}, cycle={self.cycle})"

@@ -1,0 +1,72 @@
+"""Waveform capture and ASCII rendering (for the paper's figures)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Waveform:
+    """Samples watched wires once per cycle (after combinational settle)."""
+
+    def __init__(self):
+        self._watched: List[Tuple[str, object]] = []  # (label, wire)
+        self.samples: Dict[str, List[int]] = {}
+
+    def watch(self, wire, label: str = ""):
+        label = label or wire.name
+        self._watched.append((label, wire))
+        self.samples.setdefault(label, [])
+
+    def sample(self, cycle: int):
+        for label, wire in self._watched:
+            series = self.samples[label]
+            while len(series) < cycle:
+                series.append(0)
+            series.append(wire.value)
+
+    def series(self, label: str) -> List[int]:
+        return self.samples[label]
+
+    def render(self, first: int = 0, last: Optional[int] = None) -> str:
+        """ASCII waveform: one row per watched signal.
+
+        Single-bit signals draw as ``_``/``#`` levels; multi-bit signals
+        print their hexadecimal value per cycle.
+        """
+        if not self._watched:
+            return "(no signals watched)"
+        some = next(iter(self.samples.values()))
+        last = len(some) if last is None else min(last, len(some))
+        width = max(len(lbl) for lbl, _ in self._watched) + 2
+        cells = max(
+            3,
+            max(
+                len(f"{v:x}")
+                for series in self.samples.values()
+                for v in series[first:last]
+            ) + 1,
+        )
+        header = " " * width + "".join(
+            f"{c:<{cells}}" for c in range(first, last)
+        )
+        lines = [header]
+        for label, wire in self._watched:
+            series = self.samples[label][first:last]
+            if wire.width == 1:
+                body = "".join(
+                    ("#" * cells if v else "_" * cells) for v in series
+                )
+            else:
+                body = "".join(f"{v:<{cells}x}" for v in series)
+            lines.append(f"{label:<{width}}{body}")
+        return "\n".join(lines)
+
+    def changes(self, label: str) -> List[Tuple[int, int]]:
+        """List of (cycle, new_value) change points of a signal."""
+        out = []
+        prev = None
+        for i, v in enumerate(self.samples[label]):
+            if v != prev:
+                out.append((i, v))
+                prev = v
+        return out

@@ -1,0 +1,16 @@
+"""Execution-log semantics (Appendix C) and the dynamic safety oracle."""
+
+from .log import (
+    ConcreteSend,
+    ConcreteWindow,
+    ExecutionLog,
+    concrete_times,
+    sample_log,
+    sample_process_logs,
+)
+from .safety import check_log, log_is_safe
+
+__all__ = [
+    "ConcreteSend", "ConcreteWindow", "ExecutionLog", "concrete_times",
+    "sample_log", "sample_process_logs", "check_log", "log_is_safe",
+]

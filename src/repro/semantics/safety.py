@@ -1,0 +1,73 @@
+"""The Definition C.15 safety condition over concrete execution logs.
+
+A log is safe iff for every value there is a contiguous window covering
+its creation and all its uses (including the windows promised to message
+sends), contained in the availability window granted by receives, during
+which none of the registers the value depends on changes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .log import ConcreteSend, ConcreteWindow, ExecutionLog
+
+
+def check_log(log: ExecutionLog) -> List[str]:
+    """Return the list of safety violations (empty = safe)."""
+    violations: List[str] = []
+
+    for w in log.windows:
+        # 1. availability: the use window must fall inside the value's
+        #    guaranteed-live window
+        if w.avail_end is not None:
+            if w.use_end is None:
+                violations.append(
+                    f"{w.context}: unbounded use of a value that dies at "
+                    f"cycle {w.avail_end}"
+                )
+            elif w.use_end > w.avail_end:
+                violations.append(
+                    f"{w.context}: used until {w.use_end} but only live "
+                    f"until {w.avail_end}"
+                )
+        # 2. register stability from creation through the last use
+        last_use = (w.use_end - 1) if w.use_end is not None else None
+        for reg, read_cycle in w.regs.items():
+            for mreg, mcycle, mctx in log.mutations:
+                if mreg != reg:
+                    continue
+                if last_use is None:
+                    if mcycle >= read_cycle:
+                        violations.append(
+                            f"{w.context}: {reg} mutated at {mcycle} "
+                            f"({mctx}) during an unbounded use"
+                        )
+                    continue
+                # the mutation lands at mcycle+1; it clobbers the value
+                # iff a use happens at or after that
+                if read_cycle <= mcycle and mcycle + 1 <= last_use:
+                    violations.append(
+                        f"{w.context}: {reg} read at {read_cycle}, used "
+                        f"until {last_use}, but mutated at {mcycle} ({mctx})"
+                    )
+
+    # 3. required send windows of one message must not overlap
+    by_message = {}
+    for s in log.sends:
+        by_message.setdefault(s.message, []).append(s)
+    for message, sends in by_message.items():
+        sends.sort(key=lambda s: s.start)
+        for first, second in zip(sends, sends[1:]):
+            first_end = first.end
+            if first_end is None or first_end > second.start:
+                violations.append(
+                    f"{first.context} / {second.context}: send windows of "
+                    f"{message} overlap ([{first.start},{first_end}) vs "
+                    f"start {second.start})"
+                )
+    return violations
+
+
+def log_is_safe(log: ExecutionLog) -> bool:
+    return not check_log(log)

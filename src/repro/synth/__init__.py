@@ -1,0 +1,10 @@
+"""Synthesis cost model (Table 1): area / power / fmax estimation."""
+
+from .cost import CostReport, estimate_compiled, estimate_inventory
+from .gates import LIBRARY, fmax_mhz, gate_area, gate_leakage
+from . import baselines
+
+__all__ = [
+    "CostReport", "estimate_compiled", "estimate_inventory",
+    "LIBRARY", "fmax_mhz", "gate_area", "gate_leakage", "baselines",
+]

@@ -1,0 +1,53 @@
+"""Gate library constants for the synthesis cost model.
+
+The numbers are representative of a commercial 22 nm standard-cell
+library at nominal corner (areas in um^2, delays in ps).  Absolute
+accuracy is not the goal -- both the Anvil-generated designs and the
+hand-written baselines are costed with the *same* library, so the
+relative overheads Table 1 reports are meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+
+class GateSpec(NamedTuple):
+    area: float      # um^2
+    delay: float     # ps per level
+    leakage: float   # uW
+    energy: float    # fJ per output toggle
+
+
+LIBRARY: Dict[str, GateSpec] = {
+    "and": GateSpec(0.60, 14.0, 0.0011, 0.55),
+    "or": GateSpec(0.60, 14.0, 0.0011, 0.55),
+    "xor": GateSpec(1.00, 18.0, 0.0018, 0.80),
+    "inv": GateSpec(0.30, 8.0, 0.0006, 0.30),
+    "mux2": GateSpec(1.20, 16.0, 0.0020, 0.75),
+    "lut4": GateSpec(2.40, 22.0, 0.0042, 1.30),
+    "flop": GateSpec(4.00, 0.0, 0.0075, 2.20),
+}
+
+FLOP_OVERHEAD_PS = 55.0     # clk->q + setup
+WIRE_FACTOR = 1.25          # routing overhead on combinational delay
+
+
+def gate_area(counts: Dict[str, int]) -> float:
+    return sum(LIBRARY[g].area * n for g, n in counts.items() if g in LIBRARY)
+
+
+def gate_leakage(counts: Dict[str, int]) -> float:
+    return sum(
+        LIBRARY[g].leakage * n for g, n in counts.items() if g in LIBRARY
+    )
+
+
+def path_delay_ps(levels: int) -> float:
+    """Critical-path delay for ``levels`` of average gates."""
+    avg = 16.0
+    return FLOP_OVERHEAD_PS + WIRE_FACTOR * avg * max(levels, 1)
+
+
+def fmax_mhz(levels: int) -> float:
+    return 1e6 / path_delay_ps(levels)

@@ -1,0 +1,17 @@
+"""Verification substrate: explicit-state bounded model checking.
+
+The Appendix A comparison: assertion-based verification detects timing
+hazards only *after the fact* and struggles with state explosion, whereas
+Anvil's type checker rejects the design instantly and modularly.
+"""
+
+from .bmc import (
+    Assertion,
+    BmcResult,
+    BoundedModelChecker,
+    TransitionSystem,
+)
+
+__all__ = [
+    "Assertion", "BmcResult", "BoundedModelChecker", "TransitionSystem",
+]

@@ -1,0 +1,103 @@
+"""SystemVerilog emission across every evaluation design: well-formedness
+and interface completeness."""
+
+import re
+
+import pytest
+
+from repro import to_systemverilog
+from repro.anvil_designs.aes import aes_core
+from repro.anvil_designs.axi import axi_demux, axi_mux
+from repro.anvil_designs.memory import (
+    cached_memory_process,
+    memory_process,
+)
+from repro.anvil_designs.mmu import ptw_process, tlb_process
+from repro.anvil_designs.pipeline import pipelined_alu, systolic_array
+from repro.anvil_designs.streams import (
+    fifo_buffer,
+    passthrough_stream_fifo,
+    spill_register,
+)
+from repro.codegen.sysverilog import structural_check
+
+ALL_DESIGNS = {
+    "fifo": fifo_buffer,
+    "spill": spill_register,
+    "stream_fifo": passthrough_stream_fifo,
+    "memory": memory_process,
+    "cached_memory": cached_memory_process,
+    "tlb": tlb_process,
+    "ptw": ptw_process,
+    "aes": aes_core,
+    "axi_demux": axi_demux,
+    "axi_mux": axi_mux,
+    "alu": pipelined_alu,
+    "systolic": systolic_array,
+}
+
+
+@pytest.fixture(scope="module")
+def emitted():
+    return {name: to_systemverilog(f()) for name, f in ALL_DESIGNS.items()}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_DESIGNS))
+def test_module_well_formed(emitted, name):
+    sv = emitted[name]
+    c = structural_check(sv)
+    assert c["modules"] == 1
+    assert c["endmodules"] == 1
+    assert c["always_ff"] >= 1
+    assert sv.count("(") == sv.count(")")
+    assert sv.count("[") == sv.count("]")
+
+
+@pytest.mark.parametrize("name", sorted(ALL_DESIGNS))
+def test_every_fire_wire_driven_once(emitted, name):
+    sv = emitted[name]
+    declared = re.findall(r"logic (t\d+_e\d+_fire);", sv)
+    assigned = re.findall(r"assign (t\d+_e\d+_fire) =", sv)
+    assert sorted(declared) == sorted(assigned)
+    assert len(assigned) == len(set(assigned))  # single driver
+
+
+@pytest.mark.parametrize("name", sorted(ALL_DESIGNS))
+def test_reset_covers_every_state_flop(emitted, name):
+    sv = emitted[name]
+    fired = re.findall(r"logic (t\d+_e\d+_fired_q);", sv)
+    # multi-thread processes have one reset block per thread
+    reset_blocks = "".join(
+        part.split("end else", 1)[0]
+        for part in sv.split("if (!rst_ni) begin")[1:]
+    )
+    for f in fired:
+        assert f in reset_blocks, f
+
+
+def test_handshake_ports_follow_sync_modes(emitted):
+    # dynamic channels keep valid/ack...
+    assert "host_req_valid" in emitted["aes"]
+    assert "host_req_ack" in emitted["aes"]
+    # ...fully static channels omit them
+    assert "inp_data_valid" not in emitted["alu"]
+    assert "inp_data_ack" not in emitted["alu"]
+    assert "inp_data_data" in emitted["alu"]
+
+
+def test_aes_emits_sbox_rom(emitted):
+    # the LUT-mapped S-box becomes a ternary ROM chain
+    assert emitted["aes"].count("?") > 500
+
+
+def test_axi_demux_has_all_slave_interfaces(emitted):
+    sv = emitted["axi_demux"]
+    for i in range(4):
+        for msg in ("aw", "w", "b", "ar", "r"):
+            assert f"s{i}_{msg}_data" in sv
+
+
+def test_deterministic_emission():
+    a = to_systemverilog(fifo_buffer())
+    b = to_systemverilog(fifo_buffer())
+    assert a == b

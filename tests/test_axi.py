@@ -1,0 +1,164 @@
+"""AXI-Lite routers: routing correctness, fair arbitration, equivalence."""
+
+import pytest
+
+from repro import Simulator, System, build_simulation, check_process
+from repro.anvil_designs.axi import axi_demux, axi_mux
+from repro.designs.axi import (
+    ADDR_W,
+    AxiLiteDemux,
+    AxiLiteMux,
+    AxiMasterDriver,
+    AxiPorts,
+    RegFileSlave,
+)
+
+
+class PortsView:
+    """Adapt an exposed channel's message-port dict to AxiPorts shape."""
+
+    def __init__(self, ports):
+        self.aw = ports["aw"]
+        self.w = ports["w"]
+        self.b = ports["b"]
+        self.ar = ports["ar"]
+        self.r = ports["r"]
+
+    def all(self):
+        return (self.aw, self.w, self.b, self.ar, self.r)
+
+    def wires(self):
+        for p in self.all():
+            yield from p.wires()
+
+
+def slave_region(i: int, n: int = 4) -> int:
+    sel_bits = max((n - 1).bit_length(), 1)
+    return i << (ADDR_W - sel_bits)
+
+
+class TestAnvilDemux:
+    def build(self, n=4):
+        sys_ = System()
+        inst = sys_.add(axi_demux(n))
+        mch = sys_.expose(inst, "m")
+        schs = [sys_.expose(inst, f"s{i}") for i in range(n)]
+        ss = build_simulation(sys_)
+        # replace generic externals with a real master driver and slaves
+        master_ext = ss.externals[mch.cid]
+        ss.sim.modules.remove(master_ext)
+        master = AxiMasterDriver("master", PortsView(master_ext.ports))
+        ss.sim.add(master)
+        slaves = []
+        for i, sch in enumerate(schs):
+            ext = ss.externals[sch.cid]
+            ss.sim.modules.remove(ext)
+            slave = RegFileSlave(f"slave{i}", PortsView(ext.ports))
+            ss.sim.add(slave)
+            slaves.append(slave)
+        return ss, master, slaves
+
+    def test_typechecks(self):
+        assert check_process(axi_demux()).ok
+
+    def test_writes_route_by_address(self):
+        ss, master, slaves = self.build()
+        for i in range(4):
+            master.write(slave_region(i) + i, 0x100 + i)
+        ss.sim.run_until(lambda: master.done, 400)
+        for i, s in enumerate(slaves):
+            assert s.mem.get((slave_region(i) + i) % s.words) == 0x100 + i
+            others = [v for k, v in s.mem.items() if v != 0x100 + i]
+            assert not others  # nothing leaked to the wrong slave
+
+    def test_read_after_write_roundtrip(self):
+        ss, master, slaves = self.build()
+        master.write(slave_region(2) + 5, 0xBEE)
+        master.read(slave_region(2) + 5)
+        master.read(slave_region(1) + 5)   # untouched slave reads 0
+        ss.sim.run_until(lambda: master.done, 400)
+        values = [v for _, kind, v in master.responses if kind == "r"]
+        assert values == [0xBEE, 0]
+
+    def test_matches_baseline_latency(self):
+        """Same transaction sequence completes at the same cycles."""
+        ss, master, _ = self.build()
+        master.write(slave_region(0) + 1, 7)
+        master.read(slave_region(0) + 1)
+        ss.sim.run_until(lambda: master.done, 400)
+        anvil_cycles = [c for c, _, _ in master.responses]
+
+        sim = Simulator()
+        mp = AxiPorts("m")
+        sps = [AxiPorts(f"s{i}") for i in range(4)]
+        demux = AxiLiteDemux("demux", mp, sps)
+        drv = AxiMasterDriver("drv", mp)
+        sim.add(drv)
+        sim.add(demux)
+        for i, sp in enumerate(sps):
+            sim.add(RegFileSlave(f"sl{i}", sp))
+        drv.write(slave_region(0) + 1, 7)
+        drv.read(slave_region(0) + 1)
+        sim.run_until(lambda: drv.done, 400)
+        base_cycles = [c for c, _, _ in drv.responses]
+        assert anvil_cycles == base_cycles  # zero latency overhead
+
+
+class TestAnvilMux:
+    def build(self, n=4):
+        sys_ = System()
+        inst = sys_.add(axi_mux(n))
+        mchs = [sys_.expose(inst, f"m{i}") for i in range(n)]
+        sch = sys_.expose(inst, "s")
+        ss = build_simulation(sys_)
+        masters = []
+        for i, mch in enumerate(mchs):
+            ext = ss.externals[mch.cid]
+            ss.sim.modules.remove(ext)
+            m = AxiMasterDriver(f"m{i}", PortsView(ext.ports))
+            ss.sim.add(m)
+            masters.append(m)
+        ext = ss.externals[sch.cid]
+        ss.sim.modules.remove(ext)
+        slave = RegFileSlave("slave", PortsView(ext.ports))
+        ss.sim.add(slave)
+        return ss, masters, slave
+
+    def test_typechecks(self):
+        assert check_process(axi_mux()).ok
+
+    def test_single_master_roundtrip(self):
+        ss, masters, slave = self.build()
+        masters[0].write(3, 0x77)
+        masters[0].read(3)
+        ss.sim.run_until(lambda: masters[0].done, 400)
+        values = [v for _, kind, v in masters[0].responses if kind == "r"]
+        assert values == [0x77]
+
+    def test_all_masters_served(self):
+        ss, masters, slave = self.build()
+        for i, m in enumerate(masters):
+            m.write(8 + i, 0x20 + i)
+        ss.sim.run_until(lambda: all(m.done for m in masters), 800)
+        for i in range(4):
+            assert slave.mem.get(8 + i) == 0x20 + i
+
+    def test_fair_round_robin_under_contention(self):
+        """With every master continuously requesting, grants rotate."""
+        ss, masters, slave = self.build()
+        for i, m in enumerate(masters):
+            for k in range(3):
+                m.write(i * 16 + k, k)
+        ss.sim.run_until(lambda: all(m.done for m in masters), 2000)
+        # each master finished all 3 writes
+        for m in masters:
+            assert len(m.responses) == 3
+        # no starvation: masters complete interleaved, not in blocks
+        order = []
+        events = []
+        for i, m in enumerate(masters):
+            for c, _, _ in m.responses:
+                events.append((c, i))
+        order = [i for _, i in sorted(events)]
+        first_round = order[:4]
+        assert sorted(first_round) == [0, 1, 2, 3]

@@ -1,0 +1,224 @@
+"""Tests for the language front-end: types, channels, terms, processes."""
+
+import pytest
+
+from repro import (
+    Bundle,
+    ChannelDef,
+    DependentSync,
+    DynamicSync,
+    ElaborationError,
+    LifetimeSpec,
+    Logic,
+    MessageDef,
+    Process,
+    Side,
+    StaticSync,
+    System,
+    simple_channel,
+)
+from repro.lang import terms as T
+from repro.lang.terms import lit, par, read, recv, send, seq, set_reg, var
+
+
+class TestTypes:
+    def test_logic_width_and_mask(self):
+        t = Logic(8)
+        assert t.width == 8
+        assert t.mask(0x1ff) == 0xff
+
+    def test_logic_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            Logic(0)
+
+    def test_bundle_pack_unpack_roundtrip(self):
+        b = Bundle([("addr", Logic(12)), ("we", Logic(1)), ("data", Logic(8))])
+        values = {"addr": 0xabc, "we": 1, "data": 0x5a}
+        assert b.unpack(b.pack(values)) == values
+
+    def test_bundle_width_is_sum(self):
+        b = Bundle([("a", Logic(3)), ("b", Logic(5))])
+        assert b.width == 8
+
+    def test_bundle_field_range(self):
+        b = Bundle([("a", Logic(3)), ("b", Logic(5))])
+        assert b.field_range("a") == (0, 3)
+        assert b.field_range("b") == (3, 5)
+        with pytest.raises(KeyError):
+            b.field_range("c")
+
+    def test_bundle_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            Bundle([("a", Logic(1)), ("a", Logic(2))])
+
+
+class TestChannels:
+    def test_simple_channel_shape(self):
+        ch = simple_channel("m", req_width=16, res_width=32)
+        assert ch.message("req").dtype.width == 16
+        assert ch.message("res").dtype.width == 32
+        assert ch.message("req").direction is Side.RIGHT
+
+    def test_sender_side_is_opposite_travel(self):
+        ch = simple_channel("m")
+        assert ch.message("req").sender_side() is Side.LEFT
+        assert ch.message("res").sender_side() is Side.RIGHT
+
+    def test_duplicate_message_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelDef("c", [
+                MessageDef("m", Side.LEFT, Logic(1), LifetimeSpec.static(1)),
+                MessageDef("m", Side.RIGHT, Logic(1), LifetimeSpec.static(1)),
+            ])
+
+    def test_lifetime_spec_validation(self):
+        with pytest.raises(ValueError):
+            LifetimeSpec()
+        with pytest.raises(ValueError):
+            LifetimeSpec(cycles=1, message="x")
+
+    def test_lifetime_as_duration(self):
+        d = LifetimeSpec.until("res").as_duration("ep3")
+        assert not d.is_static
+        assert d.endpoint == "ep3" and d.message == "res"
+        s = LifetimeSpec.static(4).as_duration("ep3")
+        assert s.is_static and s.cycles == 4
+
+    def test_sync_modes(self):
+        assert DynamicSync().is_dynamic
+        assert not StaticSync(2).is_dynamic
+        assert not DependentSync("req", 1).is_dynamic
+        with pytest.raises(ValueError):
+            StaticSync(0)
+
+    def test_fully_dynamic(self):
+        m = MessageDef("m", Side.LEFT, Logic(1), LifetimeSpec.static(1))
+        assert m.fully_dynamic
+        m2 = MessageDef("m", Side.LEFT, Logic(1), LifetimeSpec.static(1),
+                        StaticSync(1), DynamicSync())
+        assert not m2.fully_dynamic
+
+
+class TestTerms:
+    def test_rshift_builds_wait(self):
+        t = lit(1) >> lit(2)
+        assert isinstance(t, T.Wait)
+
+    def test_arithmetic_operators(self):
+        t = (read("a") + 1) ^ read("b")
+        assert isinstance(t, T.BinOp) and t.op == "xor"
+        assert isinstance(t.a, T.BinOp) and t.a.op == "add"
+
+    def test_comparison_methods(self):
+        t = var("x").eq(3)
+        assert isinstance(t, T.BinOp) and t.op == "eq"
+
+    def test_int_coercion(self):
+        t = send("ep", "m", 5)
+        assert isinstance(t.payload, T.Literal)
+
+    def test_seq_and_par_composition(self):
+        s = seq(lit(1), lit(2), lit(3))
+        assert isinstance(s, T.Wait)
+        p = par(lit(1), lit(2), lit(3))
+        assert isinstance(p, T.Par)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            T.BinOp("bogus", lit(1), lit(2))
+        with pytest.raises(ValueError):
+            T.UnOp("bogus", lit(1))
+
+    def test_cycle_rejects_negative(self):
+        with pytest.raises(ValueError):
+            T.Cycle(-1)
+
+    def test_slice_validation(self):
+        with pytest.raises(ValueError):
+            T.Slice(lit(0, 8), 1, 3)
+
+    def test_structural_eq_preserved(self):
+        """`==` on terms stays Python identity so terms are hashable."""
+        a, b = lit(1), lit(1)
+        assert a != b and a == a
+        assert len({a, b}) == 2
+
+
+class TestProcess:
+    def test_duplicate_register_rejected(self):
+        p = Process("p")
+        p.register("r", Logic(1))
+        with pytest.raises(ElaborationError):
+            p.register("r", Logic(2))
+
+    def test_duplicate_endpoint_rejected(self):
+        p = Process("p")
+        ch = simple_channel("c")
+        p.endpoint("e", ch, Side.LEFT)
+        with pytest.raises(ElaborationError):
+            p.endpoint("e", ch, Side.RIGHT)
+
+    def test_unknown_lookup_raises(self):
+        p = Process("p")
+        with pytest.raises(ElaborationError):
+            p.get_register("nope")
+        with pytest.raises(ElaborationError):
+            p.get_endpoint("nope")
+
+    def test_endpoint_sends(self):
+        p = Process("p")
+        ch = simple_channel("c")
+        ep = p.endpoint("e", ch, Side.LEFT)
+        assert ep.sends("req") and not ep.sends("res")
+
+
+class TestSystem:
+    def make_pair(self):
+        ch = simple_channel("c")
+        a = Process("a")
+        a.endpoint("out", ch, Side.LEFT)
+        b = Process("b")
+        b.endpoint("inp", ch, Side.RIGHT)
+        return a, b
+
+    def test_connect_opposite_sides(self):
+        a, b = self.make_pair()
+        s = System()
+        ia, ib = s.add(a), s.add(b)
+        chan = s.connect(ia, "out", ib, "inp")
+        assert chan.ends[Side.LEFT] == ("a", "out")
+        assert chan.ends[Side.RIGHT] == ("b", "inp")
+        assert s.unbound_endpoints() == []
+
+    def test_connect_same_side_rejected(self):
+        ch = simple_channel("c")
+        a = Process("a")
+        a.endpoint("x", ch, Side.LEFT)
+        b = Process("b")
+        b.endpoint("y", ch, Side.LEFT)
+        s = System()
+        with pytest.raises(ElaborationError):
+            s.connect(s.add(a), "x", s.add(b), "y")
+
+    def test_channel_mismatch_rejected(self):
+        a = Process("a")
+        a.endpoint("x", simple_channel("c1"), Side.LEFT)
+        b = Process("b")
+        b.endpoint("y", simple_channel("c2"), Side.RIGHT)
+        s = System()
+        with pytest.raises(ElaborationError):
+            s.connect(s.add(a), "x", s.add(b), "y")
+
+    def test_expose_leaves_far_side_open(self):
+        a, _ = self.make_pair()
+        s = System()
+        ia = s.add(a)
+        chan = s.expose(ia, "out")
+        assert Side.RIGHT not in chan.ends
+
+    def test_duplicate_instance_name(self):
+        a, _ = self.make_pair()
+        s = System()
+        s.add(a, "x")
+        with pytest.raises(ElaborationError):
+            s.add(a, "x")

@@ -1,0 +1,280 @@
+"""Memory, cache and MMU designs: hazards, dynamic latency, equivalence."""
+
+import pytest
+
+from repro import Side, Simulator, System, build_simulation, check_process
+from repro.anvil_designs.memory import (
+    cached_memory_process,
+    cached_memory_static_process,
+    memory_process,
+)
+from repro.anvil_designs.mmu import ptw_process, tlb_process
+from repro.codegen.simfsm import MessagePort
+from repro.designs.memory import (
+    CachedMemory,
+    HandshakeMemory,
+    NaiveTop,
+    RawMemory,
+)
+from repro.designs.mmu import (
+    FAULT,
+    PageTableWalker,
+    ROOT_BASE,
+    Tlb,
+    build_page_table,
+)
+from repro.rtl.testing import PortSink, PortSource
+
+
+class TestFigure1Hazard:
+    """The motivating example: Top misreads a 2-cycle memory."""
+
+    def test_naive_top_reads_wrong_values(self):
+        sim = Simulator()
+        mem = RawMemory("mem", latency=2)
+        top = NaiveTop("top", mem)
+        sim.add(mem)
+        sim.add(top)
+        sim.run(20)
+        observed = [v for _, v in top.reads]
+        expected = list(range(len(observed)))  # Val 0, Val 1, Val 2, ...
+        assert observed != expected  # the hazard: outputs are wrong
+        # only every other address is actually dereferenced (Val 0, 2, 4..)
+        distinct = []
+        for v in observed[1:]:
+            if not distinct or distinct[-1] != v:
+                distinct.append(v)
+        assert distinct[:3] == [0, 2, 4]
+
+    def test_memory_itself_is_fine_when_contract_respected(self):
+        """Holding req and the address steady for the full 2-cycle window
+        (the implicit contract) yields the right answer."""
+        sim = Simulator()
+        mem = RawMemory("mem", latency=2)
+        sim.add(mem)
+        mem.inp.set(7)
+        mem.req.set(1)
+        sim.step()
+        sim.step()          # req and inp stable for both processing cycles
+        mem.req.set(0)
+        sim.settle()
+        assert mem.out.value == 7
+
+
+class TestAnvilMemory:
+    def test_typechecks(self):
+        assert check_process(memory_process()).ok
+
+    def test_two_cycle_response(self):
+        sys_ = System()
+        inst = sys_.add(memory_process(latency=2))
+        ch = sys_.expose(inst, "host")
+        ss = build_simulation(sys_)
+        ext = ss.external(ch)
+        ext.always_receive("res")
+        for addr in (3, 9, 200):
+            ext.send("req", addr)
+        ss.sim.run(20)
+        values = [v for _, v in ext.received["res"]]
+        assert values == [3, 9, 200]
+        # first response exactly 2 cycles after the request synchronized
+        req_c = ext.sent["req"][0][0]
+        res_c = ext.received["res"][0][0]
+        assert res_c - req_c == 2
+
+
+class TestFigure4Cache:
+    def drive(self, factory, addrs, cycles=200):
+        sys_ = System()
+        inst = sys_.add(factory())
+        ch = sys_.expose(inst, "host")
+        ss = build_simulation(sys_)
+        ext = ss.external(ch)
+        ext.always_receive("res")
+        for a in addrs:
+            ext.send("req", a)
+        ss.sim.run(cycles)
+        reqs = ext.sent.get("req", [])
+        ress = ext.received.get("res", [])
+        lat = [r[0] - q[0] for q, r in zip(reqs, ress)]
+        return [v for _, v in ress], lat
+
+    def test_typechecks(self):
+        assert check_process(cached_memory_process()).ok
+        assert check_process(cached_memory_static_process()).ok
+
+    def test_dynamic_contract_hit_faster_than_miss(self):
+        values, lat = self.drive(cached_memory_process, [5, 5, 5])
+        assert values == [5, 5, 5]
+        assert lat[0] == 3      # cold miss
+        assert lat[1] == 1      # hit
+        assert lat[2] == 1
+
+    def test_static_contract_pays_worst_case_always(self):
+        values, lat = self.drive(cached_memory_static_process, [5, 5, 5])
+        assert values == [5, 5, 5]
+        assert lat == [3, 3, 3]  # hits cost as much as misses
+
+    def test_matches_baseline_cache_behaviour(self):
+        addrs = [1, 2, 1, 2, 9, 1]
+        values, lat = self.drive(cached_memory_process, addrs)
+        # baseline
+        sim = Simulator()
+        req = MessagePort("req", 8)
+        res = MessagePort("res", 8)
+        cm = CachedMemory("cm", req, res)
+        src = PortSource("s", req)
+        sink = PortSink("k", res)
+        src.push(*addrs)
+        for m in (src, cm, sink):
+            sim.add(m)
+        sim.run(200)
+        assert [v for _, v in sink.received] == values
+        base_kinds = [k for _, k, _ in cm.latencies]
+        anvil_kinds = ["hit" if l == 1 else "miss" for l in lat]
+        assert base_kinds == anvil_kinds
+
+
+def make_ptw_system(mapping, mem_latency=1):
+    """Anvil PTW walking a baseline HandshakeMemory page table."""
+    image = build_page_table(mapping)
+    sys_ = System()
+    inst = sys_.add(ptw_process())
+    host = sys_.expose(inst, "host")
+    memch = sys_.expose(inst, "mem")
+    ss = build_simulation(sys_)
+    mem_ext = ss.externals[memch.cid]
+    # replace the generic external with a real memory on the same wires
+    ss.sim.modules.remove(mem_ext)
+    mem = HandshakeMemory(
+        "ptmem", mem_ext.ports["req"], mem_ext.ports["res"],
+        latency=mem_latency, contents=lambda a: image.get(a, 0),
+    )
+    ss.sim.add(mem)
+    return ss, ss.external(host)
+
+
+class TestPtw:
+    MAPPING = {0x123: 0xABC, 0x124: 0xABD, 0x200: 0x555}
+
+    def test_typechecks(self):
+        assert check_process(ptw_process()).ok
+
+    def test_translates_mapped_pages(self):
+        ss, host = make_ptw_system(self.MAPPING)
+        host.always_receive("res")
+        for vpn in (0x123, 0x124, 0x200):
+            host.send("req", vpn)
+        ss.sim.run(120)
+        got = [v for _, v in host.received["res"]]
+        assert got == [0xABC, 0xABD, 0x555]
+
+    def test_unmapped_page_faults(self):
+        ss, host = make_ptw_system(self.MAPPING)
+        host.always_receive("res")
+        host.send("req", 0x999)
+        ss.sim.run(60)
+        assert host.received["res"][0][1] & FAULT
+
+    def test_dynamic_latency_varies_with_memory(self):
+        """The same walk takes longer when the memory is slower -- latency
+        is a run-time property, not a contract constant."""
+        lats = []
+        for mem_latency in (1, 3):
+            ss, host = make_ptw_system(self.MAPPING, mem_latency)
+            host.always_receive("res")
+            host.send("req", 0x123)
+            ss.sim.run(120)
+            req_c = host.sent["req"][0][0]
+            res_c = host.received["res"][0][0]
+            lats.append(res_c - req_c)
+        assert lats[1] > lats[0]
+
+    def test_matches_baseline_walker(self):
+        image = build_page_table(self.MAPPING)
+        sim = Simulator()
+        hq, hs = MessagePort("hq", 12), MessagePort("hs", 16)
+        mq, ms = MessagePort("mq", 16), MessagePort("ms", 16)
+        ptw = PageTableWalker("ptw", hq, hs, mq, ms)
+        mem = HandshakeMemory("mem", mq, ms, latency=1,
+                              contents=lambda a: image.get(a, 0))
+        src = PortSource("src", hq)
+        sink = PortSink("sink", hs)
+        src.push(0x123, 0x999, 0x200)
+        for m in (src, ptw, mem, sink):
+            sim.add(m)
+        sim.run(150)
+        base = [v for _, v in sink.received]
+
+        ss, host = make_ptw_system(self.MAPPING)
+        host.always_receive("res")
+        for vpn in (0x123, 0x999, 0x200):
+            host.send("req", vpn)
+        ss.sim.run(150)
+        anv = [v for _, v in host.received["res"]]
+        assert base == anv
+
+
+class TestTlb:
+    MAPPING = {0x010: 0x0AA, 0x011: 0x0AB, 0x012: 0x0AC,
+               0x013: 0x0AD, 0x014: 0x0AE}
+
+    def make_system(self):
+        """Anvil TLB fronting the Anvil PTW over a baseline memory."""
+        image = build_page_table(self.MAPPING)
+        sys_ = System()
+        tlb = sys_.add(tlb_process())
+        ptw = sys_.add(ptw_process())
+        sys_.connect(tlb, "ptw", ptw, "host")
+        host = sys_.expose(tlb, "host")
+        memch = sys_.expose(ptw, "mem")
+        ss = build_simulation(sys_)
+        mem_ext = ss.externals[memch.cid]
+        ss.sim.modules.remove(mem_ext)
+        mem = HandshakeMemory(
+            "ptmem", mem_ext.ports["req"], mem_ext.ports["res"],
+            latency=1, contents=lambda a: image.get(a, 0),
+        )
+        ss.sim.add(mem)
+        return ss, ss.external(host)
+
+    def test_typechecks(self):
+        assert check_process(tlb_process()).ok
+
+    def test_hit_is_much_faster_than_miss(self):
+        ss, host = self.make_system()
+        host.always_receive("res")
+        for vpn in (0x010, 0x010, 0x010):
+            host.send("req", vpn)
+        ss.sim.run(120)
+        reqs, ress = host.sent["req"], host.received["res"]
+        lats = [r[0] - q[0] for q, r in zip(reqs, ress)]
+        assert lats[0] > lats[1]        # cold miss slower
+        assert lats[1] == lats[2] == 1  # hits: one registered cycle
+        values = [v for _, v in ress]
+        assert values == [0x0AA] * 3
+
+    def test_replacement_evicts_fifo(self):
+        ss, host = self.make_system()
+        host.always_receive("res")
+        vpns = [0x010, 0x011, 0x012, 0x013, 0x014, 0x010]
+        for vpn in vpns:
+            host.send("req", vpn)
+        ss.sim.run(400)
+        values = [v for _, v in host.received["res"]]
+        assert values == [0x0AA, 0x0AB, 0x0AC, 0x0AD, 0x0AE, 0x0AA]
+        # 0x010 was evicted by 0x014 (4-entry TLB): the last is a miss again
+        reqs, ress = host.sent["req"], host.received["res"]
+        lats = [r[0] - q[0] for q, r in zip(reqs, ress)]
+        assert lats[-1] > 1
+
+    def test_fault_not_cached(self):
+        ss, host = self.make_system()
+        host.always_receive("res")
+        host.send("req", 0x999)
+        host.send("req", 0x999)
+        ss.sim.run(200)
+        reqs, ress = host.sent["req"], host.received["res"]
+        assert all(v & FAULT for _, v in ress)
+        lats = [r[0] - q[0] for q, r in zip(reqs, ress)]
+        assert lats[1] > 1  # still a miss: faults are not installed

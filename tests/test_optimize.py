@@ -1,0 +1,159 @@
+"""Tests for the event-graph optimization passes (Figure 8)."""
+
+from repro.core.events import EventGraph, EventKind, SyncDir
+from repro.core.optimize import (
+    optimize,
+    pass_merge_labels,
+    pass_remove_branch_joins,
+    pass_shift_branch_joins,
+    pass_unbalanced_joins,
+)
+from repro.core.oracle import TimingOracle
+
+
+class TestMergeLabels:
+    def test_merges_identical_delays(self):
+        """Figure 8 (a): two #N successors of one event merge."""
+        g = EventGraph()
+        r = g.root()
+        a = g.add(EventKind.DELAY, (r.eid,), delay=2)
+        b = g.add(EventKind.DELAY, (r.eid,), delay=2)
+        ta = g.add(EventKind.DELAY, (a.eid,), delay=1)
+        tb = g.add(EventKind.DELAY, (b.eid,), delay=1)
+        new, mapping, removed = pass_merge_labels(g)
+        assert removed >= 1
+        assert mapping[a.eid] == mapping[b.eid]
+
+    def test_keeps_different_delays(self):
+        g = EventGraph()
+        r = g.root()
+        g.add(EventKind.DELAY, (r.eid,), delay=1)
+        g.add(EventKind.DELAY, (r.eid,), delay=2)
+        _, _, removed = pass_merge_labels(g)
+        assert removed == 0
+
+    def test_never_merges_syncs(self):
+        g = EventGraph()
+        r = g.root()
+        g.add(EventKind.SYNC, (r.eid,), endpoint="e", message="m",
+              direction=SyncDir.SEND)
+        g.add(EventKind.SYNC, (r.eid,), endpoint="e", message="m",
+              direction=SyncDir.SEND)
+        _, _, removed = pass_merge_labels(g)
+        assert removed == 0
+
+
+class TestUnbalancedJoins:
+    def test_removes_join_dominated_by_one_pred(self):
+        """Figure 8 (b): join(a, b) with a <= b and a an ancestor of b."""
+        g = EventGraph()
+        r = g.root()
+        a = g.add(EventKind.DELAY, (r.eid,), delay=1)
+        b = g.add(EventKind.DELAY, (a.eid,), delay=2)
+        j = g.add(EventKind.JOIN_ALL, (a.eid, b.eid))
+        tail = g.add(EventKind.DELAY, (j.eid,), delay=1)
+        new, mapping, removed = pass_unbalanced_joins(g)
+        assert removed == 1
+        assert mapping[j.eid] == mapping[b.eid]
+
+    def test_keeps_joins_of_incomparable_preds(self):
+        g = EventGraph()
+        r = g.root()
+        a = g.add(EventKind.SYNC, (r.eid,), endpoint="e", message="a",
+                  direction=SyncDir.RECV)
+        b = g.add(EventKind.SYNC, (r.eid,), endpoint="e", message="b",
+                  direction=SyncDir.RECV)
+        g.add(EventKind.JOIN_ALL, (a.eid, b.eid))
+        _, _, removed = pass_unbalanced_joins(g)
+        assert removed == 0
+
+    def test_requires_structural_dominance(self):
+        """Timing-equality alone must not merge: a zero-slack sync is
+        timing-equal to its sibling but carries a data dependency."""
+        g = EventGraph()
+        r = g.root()
+        s = g.add(EventKind.SYNC, (r.eid,), endpoint="e", message="m",
+                  direction=SyncDir.RECV, static_slack=0)
+        j = g.add(EventKind.JOIN_ALL, (r.eid, s.eid))
+        new, mapping, removed = pass_unbalanced_joins(g)
+        if removed:
+            # if merged, it must merge into the sync, never into the root
+            assert mapping[j.eid] == mapping[s.eid]
+
+
+class TestBranchJoins:
+    def test_removes_empty_branch_join(self):
+        """Figure 8 (d): a join of two empty branches folds into parent."""
+        g = EventGraph()
+        r = g.root()
+        bt = g.add(EventKind.BRANCH, (r.eid,), cond_id=0, polarity=True)
+        bf = g.add(EventKind.BRANCH, (r.eid,), cond_id=0, polarity=False)
+        j = g.add(EventKind.JOIN_ANY, (bt.eid, bf.eid))
+        tail = g.add(EventKind.DELAY, (j.eid,), delay=1)
+        new, mapping, removed = pass_remove_branch_joins(g)
+        assert removed == 3  # join + both branch events
+        assert mapping[j.eid] == mapping[r.eid]
+
+    def test_keeps_join_with_actions_in_branches(self):
+        from repro.core.events import RegWriteAction
+        from repro.codegen.rexpr import RLit
+        g = EventGraph()
+        r = g.root()
+        bt = g.add(EventKind.BRANCH, (r.eid,), cond_id=0, polarity=True)
+        bf = g.add(EventKind.BRANCH, (r.eid,), cond_id=0, polarity=False)
+        bt.actions.append(RegWriteAction("r", RLit(1, 1)))
+        g.add(EventKind.JOIN_ANY, (bt.eid, bf.eid))
+        _, _, removed = pass_remove_branch_joins(g)
+        assert removed == 0
+
+    def test_shift_branch_joins(self):
+        """Figure 8 (c): identical action-free #N tails shift past join."""
+        g = EventGraph()
+        r = g.root()
+        bt = g.add(EventKind.BRANCH, (r.eid,), cond_id=0, polarity=True)
+        bf = g.add(EventKind.BRANCH, (r.eid,), cond_id=0, polarity=False)
+        dt = g.add(EventKind.DELAY, (bt.eid,), delay=2)
+        df = g.add(EventKind.DELAY, (bf.eid,), delay=2)
+        j = g.add(EventKind.JOIN_ANY, (dt.eid, df.eid))
+        new, mapping, removed = pass_shift_branch_joins(g)
+        assert removed == 1
+        # one fewer event: two delays became one
+        assert len(new) == len(g) - 1
+
+
+class TestOptimizePipeline:
+    def test_fixpoint_reduces_and_preserves_reachability(self):
+        g = EventGraph()
+        r = g.root()
+        a = g.add(EventKind.DELAY, (r.eid,), delay=1)
+        b = g.add(EventKind.DELAY, (r.eid,), delay=1)
+        j = g.add(EventKind.JOIN_ALL, (a.eid, b.eid))
+        tail = g.add(EventKind.DELAY, (j.eid,), delay=2)
+        opt, mapping, stats = optimize(g)
+        assert stats.total_removed >= 2  # duplicate delay + trivial join
+        assert len(opt) < len(g)
+        # the mapped tail still exists and is 3 cycles after the root
+        o = TimingOracle(opt)
+        t = mapping[tail.eid]
+        case = ()
+        assert o.ts(t, case).evaluate({}) == 3
+
+    def test_identity_when_nothing_to_do(self):
+        g = EventGraph()
+        r = g.root()
+        g.add(EventKind.DELAY, (r.eid,), delay=1)
+        opt, mapping, stats = optimize(g)
+        assert stats.total_removed == 0
+        assert len(opt) == len(g)
+
+    def test_actions_preserved_across_merge(self):
+        from repro.core.events import RegWriteAction
+        from repro.codegen.rexpr import RLit
+        g = EventGraph()
+        r = g.root()
+        a = g.add(EventKind.DELAY, (r.eid,), delay=1)
+        b = g.add(EventKind.DELAY, (r.eid,), delay=1)
+        b.actions.append(RegWriteAction("x", RLit(1, 1)))
+        opt, mapping, stats = optimize(g)
+        total_actions = sum(len(e.actions) for e in opt.events)
+        assert total_actions == 1

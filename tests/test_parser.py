@@ -1,0 +1,138 @@
+"""Textual front-end tests: parsed designs behave like DSL-built ones."""
+
+import pytest
+
+from repro import ParseError, Side, check_process
+from repro.lang.parser import parse, parse_process
+
+RUNNING_EXAMPLE = """
+chan cache_ch {
+  right req : (logic[8] @res),
+  left  res : (logic[8] @#1)
+}
+
+proc top_safe(cache : left cache_ch) {
+  reg address : logic[8];
+  reg enq_data : logic[8];
+  loop {
+    send cache.req (*address) >>
+    let d = recv cache.res >>
+    d >>
+    { set address := *address + 1 ; set enq_data := d }
+  }
+}
+
+proc top_unsafe(cache : left cache_ch) {
+  reg address : logic[8];
+  loop {
+    send cache.req (*address) >>
+    set address := *address + 1 >>
+    let d = recv cache.res >> d
+  }
+}
+"""
+
+
+class TestChannelParsing:
+    def test_messages_and_contracts(self):
+        p = parse(RUNNING_EXAMPLE)
+        ch = p.channels["cache_ch"]
+        req = ch.message("req")
+        assert req.direction is Side.RIGHT      # travels right
+        assert req.dtype.width == 8
+        assert not req.lifetime.is_static
+        assert req.lifetime.message == "res"
+        res = ch.message("res")
+        assert res.lifetime.is_static and res.lifetime.cycles == 1
+
+    def test_sync_modes(self):
+        p = parse("""
+        chan m {
+          left rd_req : (logic[8] @#1) @#2-@dyn,
+          left wr_res : (logic[1] @#1) @#wr_req+1-@#wr_req+1
+        }
+        """)
+        ch = p.channels["m"]
+        rd = ch.message("rd_req")
+        assert rd.direction is Side.LEFT
+        assert not rd.left_sync.is_dynamic
+        assert rd.left_sync.interval == 2
+        assert rd.right_sync.is_dynamic
+        wr = ch.message("wr_res")
+        assert wr.left_sync.message == "wr_req"
+        assert wr.left_sync.offset == 1
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ParseError):
+            parse("proc p(e : left nope) { loop { cycle 1 } }")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("banana")
+
+
+class TestProcessParsing:
+    def test_structure(self):
+        proc = parse_process(RUNNING_EXAMPLE, "top_safe")
+        assert set(proc.registers) == {"address", "enq_data"}
+        assert "cache" in proc.endpoints
+        assert len(proc.threads) == 1
+
+    def test_parsed_safe_process_typechecks(self):
+        proc = parse_process(RUNNING_EXAMPLE, "top_safe")
+        report = check_process(proc)
+        assert report.ok, [str(e) for e in report.errors]
+
+    def test_parsed_unsafe_process_rejected(self):
+        proc = parse_process(RUNNING_EXAMPLE, "top_unsafe")
+        assert not check_process(proc).ok
+
+    def test_parsed_process_simulates(self):
+        from repro import System, build_simulation
+        src = """
+        chan out_ch { right data : (logic[8] @#1) }
+        proc counter(out : left out_ch) {
+          reg cnt : logic[8];
+          loop {
+            send out.data (*cnt) >>
+            set cnt := *cnt + 1
+          }
+        }
+        """
+        proc = parse_process(src)
+        assert check_process(proc).ok
+        sys_ = System()
+        inst = sys_.add(proc)
+        ch = sys_.expose(inst, "out")
+        ss = build_simulation(sys_)
+        ext = ss.external(ch)
+        ext.always_receive("data")
+        ss.sim.run(8)
+        assert [v for _, v in ext.received["data"]] == list(range(8))
+
+    def test_if_else_and_literals(self):
+        src = """
+        chan in_ch { right data : (logic[8] @#1) }
+        proc filt(inp : right in_ch) {
+          reg buf : logic[8];
+          loop {
+            let d = recv inp.data >>
+            if d == 8'd0 { set buf := 8'd170 }
+            else { set buf := d + 1 }
+          }
+        }
+        """
+        proc = parse_process(src)
+        assert check_process(proc).ok
+
+    def test_verilog_literal_forms(self):
+        from repro.lang.parser import _parse_number
+        assert _parse_number("8'd170") == (170, 8)
+        assert _parse_number("8'hAA".lower()) == (170, 8)
+        assert _parse_number("4'b1010") == (10, 4)
+        assert _parse_number("0x1f") == (31, None)
+        assert _parse_number("42") == (42, None)
+
+    def test_multiple_processes_need_name(self):
+        with pytest.raises(ParseError):
+            parse_process(RUNNING_EXAMPLE)
