@@ -1,0 +1,121 @@
+"""Before/after benchmark of the RTL simulation engine.
+
+Measures cycles/second of the levelized, dirty-set scheduler
+(``engine="levelized"``) against the seed's brute-force settle loop
+(``engine="brute"``, kept verbatim: full re-evaluation of every module
+per iteration, dict snapshots of every wire, full-pass toggle
+accounting) on the six bundled design families and on the combined
+"sweep" (all six families in one simulator -- the shape the harness
+tables run, and the regime the seed loop handles worst).
+
+Every measurement also cross-checks equivalence: both engines must
+produce identical waveforms and identical per-wire activity counts.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_simulator.py            # full
+    PYTHONPATH=src python benchmarks/bench_simulator.py --quick    # CI
+"""
+
+import argparse
+import statistics
+import sys
+import time
+
+from repro.harness.scenarios import SCENARIOS, build_scenario, build_sweep
+
+ENGINES = ("brute", "levelized")
+
+
+def _measure(builder, cycles, warmup, repeats):
+    """Best-of-N cycles/second for one builder, plus the finished sim."""
+    best = 0.0
+    sim = None
+    for _ in range(repeats):
+        sim = builder()
+        sim.run(warmup)
+        t0 = time.perf_counter()
+        sim.run(cycles)
+        elapsed = time.perf_counter() - t0
+        best = max(best, cycles / elapsed)
+    return best, sim
+
+
+def bench_one(name, builders, cycles, warmup, repeats, check):
+    cps = {}
+    sims = {}
+    for engine in ENGINES:
+        cps[engine], sims[engine] = _measure(
+            builders[engine], cycles, warmup, repeats
+        )
+    equivalent = True
+    if check:
+        equivalent = (
+            sims["brute"].activity == sims["levelized"].activity
+            and sims["brute"].waveform.samples
+            == sims["levelized"].waveform.samples
+        )
+    return {
+        "name": name,
+        "brute": cps["brute"],
+        "levelized": cps["levelized"],
+        "speedup": cps["levelized"] / cps["brute"],
+        "equivalent": equivalent,
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="short CI run (fewer cycles, one repeat)")
+    ap.add_argument("--cycles", type=int, default=None,
+                    help="measured cycles per scenario")
+    ap.add_argument("--seed", type=int, default=3)
+    ap.add_argument("--no-check", action="store_true",
+                    help="skip the waveform/activity equivalence check")
+    args = ap.parse_args(argv)
+
+    cycles = args.cycles or (200 if args.quick else 1500)
+    sweep_cycles = max(cycles // 3, 100)
+    warmup = 20 if args.quick else 50
+    repeats = 1 if args.quick else 3
+    check = not args.no_check
+    stim = max(cycles * 2, 500)
+
+    rows = []
+    for name in SCENARIOS:
+        builders = {
+            engine: (lambda e=engine, n=name: build_scenario(
+                n, engine=e, seed=args.seed, stim=stim))
+            for engine in ENGINES
+        }
+        rows.append(bench_one(name, builders, cycles, warmup, repeats,
+                              check))
+    sweep_builders = {
+        engine: (lambda e=engine: build_sweep(
+            e, seed=args.seed, stim=stim))
+        for engine in ENGINES
+    }
+    sweep = bench_one("sweep (all six)", sweep_builders, sweep_cycles,
+                      warmup, repeats, check)
+    rows.append(sweep)
+
+    print(f"{'design':18s} {'seed c/s':>10} {'levelized c/s':>14} "
+          f"{'speedup':>8}  equal")
+    for r in rows:
+        print(f"{r['name']:18s} {r['brute']:10.0f} "
+              f"{r['levelized']:14.0f} {r['speedup']:7.2f}x  "
+              f"{'yes' if r['equivalent'] else 'NO'}")
+    geo = statistics.geometric_mean(r["speedup"] for r in rows[:-1])
+    print(f"\nper-design geomean speedup: {geo:.2f}x")
+    print(f"design-sweep speedup:       {sweep['speedup']:.2f}x")
+
+    if not all(r["equivalent"] for r in rows):
+        print("ERROR: engines disagree on waveforms or activity",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

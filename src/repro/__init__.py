@@ -92,6 +92,8 @@ from .codegen.sysverilog import emit_process as to_systemverilog
 from .codegen.sysverilog import emit_system
 from .lang.parser import parse, parse_process
 from .rtl.simulator import Simulator
+from .rtl.scheduler import CombScheduler
+from .rtl.batch import BatchSimulator, run_batch
 from .rtl.module import Module
 from .rtl.signal import Wire
 
@@ -113,6 +115,7 @@ __all__ = [
     "AnvilProcessModule", "ExternalEndpoint", "build_simulation",
     "compile_process", "to_systemverilog", "emit_system",
     "parse", "parse_process",
-    "Simulator", "Module", "Wire",
+    "Simulator", "CombScheduler", "BatchSimulator", "run_batch",
+    "Module", "Wire",
     "__version__",
 ]

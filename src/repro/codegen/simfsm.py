@@ -139,7 +139,8 @@ class _SlotView:
 class Activation:
     """One in-flight iteration of a thread."""
 
-    __slots__ = ("start", "fired", "dead", "slots", "spawned", "retired")
+    __slots__ = ("start", "fired", "dead", "slots", "spawned", "retired",
+                 "cache")
 
     def __init__(self, start: int):
         self.start = start
@@ -148,6 +149,10 @@ class Activation:
         self.slots: Dict[int, int] = {}
         self.spawned = False
         self.retired = False
+        # (cycle, fired_now, dead_now, overlay) from the last settled
+        # eval_comb; consumed by tick() so the clock edge does not
+        # recompute the fire set the settle phase already produced
+        self.cache: Optional[Tuple] = None
 
 
 class AnvilProcessModule(Module):
@@ -177,20 +182,60 @@ class AnvilProcessModule(Module):
         ]
         self._reg_writes: List[Tuple[str, int]] = []
         self._started = False
+        self._sender_memo: Dict[Tuple[str, str], bool] = {}
+        self._release_wires: List[Wire] = []   # handshake outputs to drop
 
     # -- wiring -----------------------------------------------------------
     def bind_endpoint(self, endpoint: str, side: Side,
                       ports: Dict[str, MessagePort]):
         self.ports[endpoint] = ports
         self.sides[endpoint] = side
-        for p in ports.values():
+        for m, p in ports.items():
             self.adopt(p.data)
             self.adopt(p.valid)
             self.adopt(p.ack)
+            self._release_wires.append(
+                p.valid if self._is_sender(endpoint, m) else p.ack
+            )
 
     def _is_sender(self, endpoint: str, message: str) -> bool:
-        ep = self.process.get_endpoint(endpoint)
-        return ep.sends(message)
+        key = (endpoint, message)
+        hit = self._sender_memo.get(key)
+        if hit is None:
+            ep = self.process.get_endpoint(endpoint)
+            hit = ep.sends(message)
+            self._sender_memo[key] = hit
+        return hit
+
+    # -- scheduler registration --------------------------------------------
+    # The compiled FSM's combinational block is exactly its handshake
+    # logic: as a sender it drives valid/data and reacts to the ack, as a
+    # receiver it drives the ack and reacts to valid/data.  Registers,
+    # slots and activation state only change at the clock edge, so they
+    # need no sensitivity edges.  Declaring this lets the levelized
+    # scheduler wire compiled processes into a precise dependency graph
+    # instead of the conservative all-wires default.
+    def comb_inputs(self):
+        ins = []
+        for ep, msgs in self.ports.items():
+            for m, port in msgs.items():
+                if self._is_sender(ep, m):
+                    ins.append(port.ack)
+                else:
+                    ins.append(port.valid)
+                    ins.append(port.data)
+        return ins
+
+    def comb_outputs(self):
+        outs = []
+        for ep, msgs in self.ports.items():
+            for m, port in msgs.items():
+                if self._is_sender(ep, m):
+                    outs.append(port.valid)
+                    outs.append(port.data)
+                else:
+                    outs.append(port.ack)
+        return outs
 
     # -- expression environment ---------------------------------------------
     def _env(self, act: Activation, overlay: Optional[Dict[int, int]] = None
@@ -212,12 +257,8 @@ class AnvilProcessModule(Module):
                     self._threads_rt[ti].append(Activation(0))
             self._started = True
         # release our handshake outputs, then re-drive below
-        for ep, msgs in self.ports.items():
-            for m, port in msgs.items():
-                if self._is_sender(ep, m):
-                    port.valid.set(0)
-                else:
-                    port.ack.set(0)
+        for w in self._release_wires:
+            w.value = 0
         for ti, cthread in enumerate(self.compiled.threads):
             self._tentative[ti] = []
             acts = [a for a in self._threads_rt[ti] if not a.retired]
@@ -233,9 +274,10 @@ class AnvilProcessModule(Module):
         while idx < len(queue):
             act = queue[idx]
             idx += 1
-            fired_now, _dead_now, _ov = self._fire_set(
+            fired_now, dead_now, overlay = self._fire_set(
                 cthread, act, busy_messages
             )
+            act.cache = (self.cycle, fired_now, dead_now, overlay)
             anchor_fires = (
                 cthread.anchor in fired_now
                 or cthread.anchor in act.fired
@@ -267,6 +309,10 @@ class AnvilProcessModule(Module):
         dead_now: set = set()
         overlay: Dict[int, int] = {}
         env = self._env(act, overlay)
+        act_fired = act.fired
+        act_dead = act.dead
+        fired_get = act_fired.get
+        now_get = fired_now.get
 
         def latch_into_overlay(ev):
             for action in ev.actions:
@@ -279,44 +325,58 @@ class AnvilProcessModule(Module):
                 elif isinstance(action, LatchAction):
                     overlay[action.slot] = action.source.eval(env)
 
-        def fire_cycle(eid) -> Optional[int]:
-            if eid in act.fired:
-                return act.fired[eid]
-            return fired_now.get(eid)
-
-        def is_dead(eid) -> bool:
-            return eid in act.dead or eid in dead_now
-
         for ev in g.events:
-            if ev.eid in act.fired or is_dead(ev.eid) or \
-                    ev.eid in fired_now:
+            eid = ev.eid
+            if eid in act_fired or eid in act_dead or eid in fired_now \
+                    or eid in dead_now:
                 continue
             kind = ev.kind
             if kind is EventKind.ROOT:
                 if act.start == now:
-                    fired_now[ev.eid] = now
+                    fired_now[eid] = now
                     latch_into_overlay(ev)
                 continue
-            pred_cycles = [fire_cycle(p) for p in ev.preds]
+            preds = ev.preds
             if kind is EventKind.JOIN_ANY:
-                ready = [c for c in pred_cycles if c is not None]
-                alive = [
-                    p for p, c in zip(ev.preds, pred_cycles)
-                    if c is not None or not is_dead(p)
-                ]
+                ready = False
+                alive = False
+                for p in preds:
+                    c = fired_get(p)
+                    if c is None:
+                        c = now_get(p)
+                    if c is not None:
+                        ready = alive = True
+                        break
+                    if not (p in act_dead or p in dead_now):
+                        alive = True
                 if ready:
-                    fired_now[ev.eid] = now
+                    fired_now[eid] = now
                     latch_into_overlay(ev)
                 elif not alive:
-                    dead_now.add(ev.eid)
+                    dead_now.add(eid)
                 continue
             # all other kinds require every predecessor
-            if any(is_dead(p) for p in ev.preds):
-                dead_now.add(ev.eid)
+            dead = False
+            for p in preds:
+                if p in act_dead or p in dead_now:
+                    dead = True
+                    break
+            if dead:
+                dead_now.add(eid)
                 continue
-            if any(c is None for c in pred_cycles):
+            base = act.start
+            blocked = False
+            for p in preds:
+                c = fired_get(p)
+                if c is None:
+                    c = now_get(p)
+                    if c is None:
+                        blocked = True
+                        break
+                if c > base:
+                    base = c
+            if blocked:
                 continue
-            base = max(pred_cycles) if pred_cycles else act.start
             if kind is EventKind.DELAY:
                 if base + ev.delay == now:
                     fired_now[ev.eid] = now
@@ -372,9 +432,16 @@ class AnvilProcessModule(Module):
             for act in acts:
                 if act.retired:
                     continue
-                fired_now, dead_now, overlay = self._fire_set(
-                    cthread, act, busy
-                )
+                cache = act.cache
+                act.cache = None
+                if cache is not None and cache[0] == self.cycle:
+                    # the settle phase already computed this activation's
+                    # fire set on the settled wires; reuse it
+                    _cyc, fired_now, dead_now, overlay = cache
+                else:
+                    fired_now, dead_now, overlay = self._fire_set(
+                        cthread, act, busy
+                    )
                 act.dead.update(dead_now)
                 env = self._env(act, overlay)
                 for eid, cyc in fired_now.items():
@@ -389,6 +456,9 @@ class AnvilProcessModule(Module):
                 ):
                     act.retired = True
             live = [a for a in acts if not a.retired]
+            if len(live) < 2:
+                self._threads_rt[ti] = live
+                continue
             # Activations with identical FSM state are indistinguishable
             # (the generated hardware holds one copy of that state); keep
             # only the oldest of each equivalence class.  This is what
@@ -488,9 +558,16 @@ class ExternalEndpoint(Module):
         self.received: Dict[str, List[Tuple[int, int]]] = {}
         self.sent: Dict[str, List[Tuple[int, int]]] = {}
         self.cycle = 0
+        self._sender_memo: Dict[str, bool] = {
+            m: channel.message(m).sender_side() is side for m in ports
+        }
 
     def _is_sender(self, message: str) -> bool:
-        return self.channel.message(message).sender_side() is self.side
+        hit = self._sender_memo.get(message)
+        if hit is None:
+            hit = self.channel.message(message).sender_side() is self.side
+            self._sender_memo[message] = hit
+        return hit
 
     def send(self, message: str, value: int):
         if not self._is_sender(message):
@@ -505,6 +582,19 @@ class ExternalEndpoint(Module):
                 f"{self.name} is the sender of {message!r}"
             )
         self._recv_enabled[message] = enabled
+
+    def comb_inputs(self):
+        return ()      # drives from queues/flags; reads no wires
+
+    def comb_outputs(self):
+        outs = []
+        for m, port in self.ports.items():
+            if self._is_sender(m):
+                outs.append(port.valid)
+                outs.append(port.data)
+            else:
+                outs.append(port.ack)
+        return outs
 
     def eval_comb(self):
         for m, port in self.ports.items():

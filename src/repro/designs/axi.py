@@ -59,6 +59,14 @@ class RegFileSlave(Module):
     def _index(self, addr: int) -> int:
         return addr % self.words
 
+    def comb_inputs(self):
+        return ()      # pure function of the two FSM states
+
+    def comb_outputs(self):
+        p = self.ports
+        return (p.aw.ack, p.w.ack, p.b.valid, p.b.data, p.ar.ack,
+                p.r.valid, p.r.data)
+
     def eval_comb(self):
         p = self.ports
         p.aw.ack.set(1 if self.wstate == self.W_IDLE else 0)
@@ -115,6 +123,18 @@ class AxiLiteDemux(Module):
 
     def _select(self, addr: int) -> int:
         return (addr >> (ADDR_W - self.sel_bits)) % len(self.slaves)
+
+    def comb_inputs(self):
+        return ()      # routing is a pure function of the FSM states
+
+    def comb_outputs(self):
+        m = self.master
+        outs = [m.aw.ack, m.w.ack, m.b.valid, m.b.data, m.ar.ack,
+                m.r.valid, m.r.data]
+        for s in self.slaves:
+            outs += [s.aw.valid, s.aw.data, s.w.valid, s.w.data,
+                     s.b.ack, s.ar.valid, s.ar.data, s.r.ack]
+        return outs
 
     def eval_comb(self):
         m = self.master
@@ -211,6 +231,21 @@ class AxiLiteMux(Module):
             if requesting(i):
                 return i
         return None
+
+    def comb_inputs(self):
+        # combinational arbitration: the AW/AR acks consult every
+        # master's valid
+        return [w for m in self.masters for w in (m.aw.valid, m.ar.valid)]
+
+    def comb_outputs(self):
+        outs = []
+        for m in self.masters:
+            outs += [m.aw.ack, m.w.ack, m.b.valid, m.b.data, m.ar.ack,
+                     m.r.valid, m.r.data]
+        s = self.slave
+        outs += [s.aw.valid, s.aw.data, s.w.valid, s.w.data, s.b.ack,
+                 s.ar.valid, s.ar.data, s.r.ack]
+        return outs
 
     def eval_comb(self):
         s = self.slave
@@ -319,6 +354,14 @@ class AxiMasterDriver(Module):
     @property
     def done(self) -> bool:
         return self.state == self.IDLE and not self.ops
+
+    def comb_inputs(self):
+        return ()      # drives from its op queue and FSM state
+
+    def comb_outputs(self):
+        p = self.ports
+        return (p.aw.valid, p.aw.data, p.w.valid, p.w.data, p.b.ack,
+                p.ar.valid, p.ar.data, p.r.ack)
 
     def eval_comb(self):
         p = self.ports

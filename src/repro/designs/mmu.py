@@ -92,6 +92,13 @@ class PageTableWalker(Module):
     def _index(self, level: int) -> int:
         return (self.vpn >> (4 * level)) & 0xF
 
+    def comb_inputs(self):
+        return ()      # pure function of the walk FSM state
+
+    def comb_outputs(self):
+        return (self.host_req.ack, self.mem_req.valid, self.mem_req.data,
+                self.mem_res.ack, self.host_res.valid, self.host_res.data)
+
     def eval_comb(self):
         self.host_req.ack.set(1 if self.state == self.IDLE else 0)
         self.mem_req.valid.set(1 if self.state == self.ISSUE else 0)
@@ -171,6 +178,13 @@ class Tlb(Module):
         for p in (host_req, host_res, ptw_req, ptw_res):
             for w in p.wires():
                 self.adopt(w)
+
+    def comb_inputs(self):
+        return ()      # pure function of the TLB FSM state
+
+    def comb_outputs(self):
+        return (self.host_req.ack, self.ptw_req.valid, self.ptw_req.data,
+                self.ptw_res.ack, self.host_res.valid, self.host_res.data)
 
     def eval_comb(self):
         self.host_req.ack.set(1 if self.state == self.IDLE else 0)

@@ -44,6 +44,12 @@ class PipelinedAlu(Module):
         for w in (*inp.wires(), *out.wires()):
             self.adopt(w)
 
+    def comb_inputs(self):
+        return ()      # statically scheduled: always ready, state-driven
+
+    def comb_outputs(self):
+        return (self.inp.ack, self.out.valid, self.out.data)
+
     def eval_comb(self):
         self.inp.ack.set(1)
         self.out.valid.set(1 if self.out_valid else 0)
@@ -91,6 +97,12 @@ class SystolicArray2x2(Module):
         self.out_valid = False
         for w_ in (*inp.wires(), *out.wires()):
             self.adopt(w_)
+
+    def comb_inputs(self):
+        return ()      # statically scheduled: always ready, state-driven
+
+    def comb_outputs(self):
+        return (self.inp.ack, self.out.valid, self.out.data)
 
     def eval_comb(self):
         self.inp.ack.set(1)

@@ -49,6 +49,12 @@ class FifoBuffer(Module):
     def empty(self) -> bool:
         return self.cnt == 0
 
+    def comb_inputs(self):
+        return ()      # full/empty/head are register state
+
+    def comb_outputs(self):
+        return (self.inp.ack, self.out.valid, self.out.data)
+
     def eval_comb(self):
         self.inp.ack.set(0 if self.full else 1)
         self.out.valid.set(0 if self.empty else 1)
@@ -88,6 +94,12 @@ class SpillRegister(Module):
         self.s_valid = False
         for w in (*inp.wires(), *out.wires()):
             self.adopt(w)
+
+    def comb_inputs(self):
+        return ()      # both slots are registers
+
+    def comb_outputs(self):
+        return (self.inp.ack, self.out.valid, self.out.data)
 
     def eval_comb(self):
         self.inp.ack.set(0 if (self.o_valid and self.s_valid) else 1)
@@ -154,6 +166,15 @@ class PassthroughStreamFifo(Module):
     @property
     def empty(self) -> bool:
         return self.cnt == 0
+
+    def comb_inputs(self):
+        # passthrough: the output combinationally mirrors the input, and
+        # the push guard reads the (own) out.valid / downstream out.ack
+        return (self.inp.valid, self.inp.data, self.out.valid,
+                self.out.ack)
+
+    def comb_outputs(self):
+        return (self.inp.ack, self.out.valid, self.out.data)
 
     def eval_comb(self):
         popping = bool(self.out.valid.value and self.out.ack.value)

@@ -342,6 +342,26 @@ def figure6() -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 # Figure 8
 # ---------------------------------------------------------------------------
+def generate_figures(parallel=None) -> Dict[str, object]:
+    """Every figure harness as one batch sweep (each figure builds its
+    own simulators/processes, so the jobs are independent; thread-based,
+    see :mod:`repro.rtl.batch` for the GIL caveat)."""
+    from ..rtl.batch import run_batch
+
+    return run_batch(
+        [
+            ("figure1", figure1),
+            ("figure2_bsv", figure2_bsv),
+            ("figure2_anvil", figure2_anvil),
+            ("figure4", figure4),
+            ("figure5", figure5),
+            ("figure6", figure6),
+            ("figure8", figure8),
+        ],
+        parallel=parallel,
+    )
+
+
 def figure8() -> Dict[str, object]:
     """Optimization-pass statistics over every compiled design."""
     from ..anvil_designs.aes import aes_core

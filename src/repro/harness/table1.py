@@ -164,36 +164,51 @@ def _spec_rows() -> List[dict]:
     ]
 
 
-def generate_table1(fast: bool = False) -> List[Table1Row]:
-    """Compute every row of Table 1."""
-    rows: List[Table1Row] = []
-    for spec in _spec_rows():
-        base: CostReport = spec["baseline"]()
-        proc = spec["factory"]()
-        anv = estimate_compiled(compile_process(proc))
-        port_toggles = 0.0 if fast else _activity(
-            spec["factory"], spec["stimuli"]
-        )
-        # port toggles seed the activity estimate; internal nodes switch
-        # in proportion to the logic they feed (activity density model)
-        toggles = port_toggles + anv.area * 0.06
-        base_toggles = (
-            port_toggles * (base.area / max(anv.area, 1.0))
-            + base.area * 0.06
-        )
-        freq = min(base.fmax, anv.fmax) / 2.0
-        rows.append(Table1Row(
-            design=spec["name"],
-            base_area=base.area,
-            anvil_area=anv.area,
-            base_power=base.power(base_toggles, freq),
-            anvil_power=anv.power(toggles, freq),
-            base_fmax=base.fmax,
-            anvil_fmax=anv.fmax,
-            latency=spec["latency"],
-            latency_overhead=0,   # asserted by the equivalence test suite
-        ))
-    return rows
+def _row(spec: dict, fast: bool) -> Table1Row:
+    """One Table 1 row: cost both implementations, simulate activity."""
+    base: CostReport = spec["baseline"]()
+    proc = spec["factory"]()
+    anv = estimate_compiled(compile_process(proc))
+    port_toggles = 0.0 if fast else _activity(
+        spec["factory"], spec["stimuli"]
+    )
+    # port toggles seed the activity estimate; internal nodes switch
+    # in proportion to the logic they feed (activity density model)
+    toggles = port_toggles + anv.area * 0.06
+    base_toggles = (
+        port_toggles * (base.area / max(anv.area, 1.0))
+        + base.area * 0.06
+    )
+    freq = min(base.fmax, anv.fmax) / 2.0
+    return Table1Row(
+        design=spec["name"],
+        base_area=base.area,
+        anvil_area=anv.area,
+        base_power=base.power(base_toggles, freq),
+        anvil_power=anv.power(toggles, freq),
+        base_fmax=base.fmax,
+        anvil_fmax=anv.fmax,
+        latency=spec["latency"],
+        latency_overhead=0,   # asserted by the equivalence test suite
+    )
+
+
+def generate_table1(fast: bool = False,
+                    parallel=None) -> List[Table1Row]:
+    """Compute every row of Table 1.
+
+    Rows are independent (each builds its own processes and simulators),
+    so they run as one sweep on the batch runner (thread-based; see
+    :mod:`repro.rtl.batch` for the GIL caveat)."""
+    from ..rtl.batch import run_batch
+
+    specs = _spec_rows()
+    results = run_batch(
+        [(spec["name"], (lambda spec=spec: _row(spec, fast)))
+         for spec in specs],
+        parallel=parallel,
+    )
+    return [results[spec["name"]] for spec in specs]
 
 
 def format_table1(rows: List[Table1Row]) -> str:

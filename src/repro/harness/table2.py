@@ -190,14 +190,20 @@ def case_core2axi_w_valid() -> Dict[str, object]:
     }
 
 
-def generate_table2() -> Dict[str, Dict[str, object]]:
-    return {
-        "opentitan": case_opentitan_entropy(),
-        "coyote": case_coyote_two_cycle_valid(),
-        "ibex": case_ibex_instr_valid(),
-        "snax": case_snax_alu_handshake(),
-        "core2axi": case_core2axi_w_valid(),
-    }
+def generate_table2(parallel=None) -> Dict[str, Dict[str, object]]:
+    """All five case studies; independent, so run as a batch sweep."""
+    from ..rtl.batch import run_batch
+
+    return run_batch(
+        [
+            ("opentitan", case_opentitan_entropy),
+            ("coyote", case_coyote_two_cycle_valid),
+            ("ibex", case_ibex_instr_valid),
+            ("snax", case_snax_alu_handshake),
+            ("core2axi", case_core2axi_w_valid),
+        ],
+        parallel=parallel,
+    )
 
 
 def stream_fifo_safety() -> Dict[str, object]:

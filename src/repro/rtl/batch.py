@@ -1,0 +1,122 @@
+"""Concurrent execution of independent simulations and harness jobs.
+
+The harness tables and figures are *sweeps*: many independent designs,
+each elaborated into its own :class:`~repro.rtl.simulator.Simulator` (or
+its own typecheck/BMC job), with no shared state.  ``run_batch`` executes
+such a job list on a thread pool and returns results keyed by job name in
+submission order; :class:`BatchSimulator` is the simulator-specific
+convenience wrapper.
+
+Parallelism policy:
+
+* jobs must be independent -- nothing here synchronizes shared state;
+* results are deterministic: each job owns its RNGs and simulators, and
+  the output ordering never depends on completion order;
+* the pool size defaults to ``min(len(jobs), os.cpu_count())`` and can
+  be forced serial with ``parallel=False`` or the environment variable
+  ``REPRO_PARALLEL=0`` (useful for profiling and debugging).
+
+GIL caveat: the harness jobs are pure-Python and CPU-bound, so on a
+standard CPython build the threads interleave rather than truly run in
+parallel -- expect isolation and uniform sweep structure, not wall-clock
+speedup.  The structure pays off for jobs that release the GIL (I/O,
+native extensions) and on free-threaded builds; process pools are not an
+option here because harness specs close over lambdas (unpicklable).
+Anything whose *result* depends on wall-clock time budgets (the BMC
+harness) should stay serial.
+
+Exceptions propagate: the first failing job (in submission order)
+re-raises in the caller.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .simulator import Simulator
+
+Job = Tuple[str, Callable[[], object]]
+
+
+def _pool_size(parallel: Union[bool, int, None], n_jobs: int) -> int:
+    """Resolve the worker count; 1 means run serially."""
+    env = os.environ.get("REPRO_PARALLEL")
+    if env is not None and env.strip() in ("0", "false", "no", "off"):
+        return 1
+    if parallel is False:
+        return 1
+    if parallel is None or parallel is True:
+        return max(1, min(n_jobs, os.cpu_count() or 1))
+    return max(1, int(parallel))
+
+
+def run_batch(jobs: Sequence[Job],
+              parallel: Union[bool, int, None] = None) -> Dict[str, object]:
+    """Run ``(name, thunk)`` jobs, returning ``{name: result}`` in
+    submission order."""
+    jobs = list(jobs)
+    workers = _pool_size(parallel, len(jobs))
+    if workers <= 1 or len(jobs) <= 1:
+        return {name: thunk() for name, thunk in jobs}
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [(name, pool.submit(thunk)) for name, thunk in jobs]
+        return {name: fut.result() for name, fut in futures}
+
+
+class BatchSimulator:
+    """A set of independent simulators stepped as one sweep.
+
+    >>> batch = BatchSimulator()
+    >>> batch.add(sim_a)
+    >>> batch.add(sim_b)
+    >>> batch.run(1000)                    # both advance 1000 cycles
+    >>> batch.total_activity()             # {'a': ..., 'b': ...}
+    """
+
+    def __init__(self, parallel: Union[bool, int, None] = None):
+        self.parallel = parallel
+        self.sims: Dict[str, Simulator] = {}
+
+    def add(self, sim: Simulator) -> Simulator:
+        if sim.name in self.sims:
+            raise ValueError(f"duplicate simulator name {sim.name!r}")
+        self.sims[sim.name] = sim
+        return sim
+
+    def __len__(self):
+        return len(self.sims)
+
+    def __getitem__(self, name: str) -> Simulator:
+        return self.sims[name]
+
+    def run(self, cycles: int,
+            parallel: Union[bool, int, None] = None) -> "BatchSimulator":
+        """Advance every simulator by ``cycles`` (concurrently when the
+        pool allows)."""
+        run_batch(
+            [(name, (lambda s=s: s.run(cycles)))
+             for name, s in self.sims.items()],
+            parallel=self.parallel if parallel is None else parallel,
+        )
+        return self
+
+    def run_until(self, predicates: Dict[str, Callable[[], bool]],
+                  limit: int = 10000) -> Dict[str, int]:
+        """Per-simulator ``run_until``; returns elapsed cycles by name."""
+        return run_batch(
+            [(name, (lambda s=s, p=p: s.run_until(p, limit)))
+             for name, s in self.sims.items()
+             for p in (predicates[name],)],
+            parallel=self.parallel,
+        )
+
+    def total_activity(self) -> Dict[str, int]:
+        return {name: s.total_activity() for name, s in self.sims.items()}
+
+    def cycles(self) -> Dict[str, int]:
+        return {name: s.cycle for name, s in self.sims.items()}
+
+    def __repr__(self):
+        return f"BatchSimulator({list(self.sims)})"

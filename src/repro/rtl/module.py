@@ -39,6 +39,29 @@ class Module:
     def wires(self) -> List[Wire]:
         return self._wires
 
+    # -- scheduler hints ---------------------------------------------------
+    def comb_inputs(self):
+        """Wires whose value :meth:`eval_comb` *reads*, or ``None``.
+
+        ``None`` (the default) means "unknown": the levelized scheduler
+        treats every tracked wire as a potential input, which is always
+        safe but may force extra re-evaluations.  A module that knows its
+        combinational sensitivity list can return it here and will only be
+        re-evaluated when one of those wires changes.  If you override
+        this, the list must cover *every* wire whose value can influence
+        ``eval_comb``'s outputs (register state needs no declaration --
+        registers only change at the clock edge)."""
+        return None
+
+    def comb_outputs(self):
+        """Wires :meth:`eval_comb` may *write*, or ``None``.
+
+        ``None`` (the default) means "unknown": the scheduler scans every
+        tracked wire for changes after each evaluation.  Overriding this
+        narrows the scan and the dependency edges; the list must cover
+        every wire ``eval_comb`` can possibly write."""
+        return None
+
     # -- simulation interface ----------------------------------------------
     def eval_comb(self):
         """Combinational logic; may be called repeatedly until stable."""

@@ -14,17 +14,15 @@ from typing import Optional
 class Wire:
     """A named signal with a width and a current value."""
 
-    __slots__ = ("name", "width", "value", "driver")
+    __slots__ = ("name", "width", "mask", "value", "driver")
 
     def __init__(self, name: str, width: int = 1, value: int = 0):
         self.name = name
         self.width = width
+        # cached once: Wire.set is the hottest call in the simulator
+        self.mask = (1 << width) - 1
         self.value = value & self.mask
         self.driver: Optional[str] = None
-
-    @property
-    def mask(self) -> int:
-        return (1 << self.width) - 1
 
     def set(self, value: int):
         self.value = value & self.mask

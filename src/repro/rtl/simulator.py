@@ -2,39 +2,61 @@
 
 Each cycle:
 
-1. **settle** -- run every module's combinational logic repeatedly until no
-   wire changes value (a bounded fixpoint; divergence indicates a
-   combinational loop and raises :class:`~repro.errors.SimulationError`);
+1. **settle** -- evaluate combinational logic until no wire changes value
+   (divergence indicates a combinational loop and raises
+   :class:`~repro.errors.SimulationError`);
 2. **sample** -- the waveform recorder captures the settled wire values
    (this is what the paper's waveform figures show);
 3. **tick** -- every module's clock edge updates its registers.
 
-The simulator also exposes an *activity* counter per wire (toggle counts),
-which feeds the dynamic-power estimate of the synthesis cost model.
+Two settle engines are available:
+
+* ``engine="levelized"`` (default) -- the change-driven, levelized
+  scheduler of :mod:`repro.rtl.scheduler`: dependency-ordered evaluation,
+  dirty-set propagation, incremental toggle accounting.  This is what
+  every harness and benchmark should use.
+* ``engine="brute"`` -- the original bounded fixpoint that re-evaluates
+  every module and snapshots every wire per iteration.  Kept as the
+  semantic reference: the equivalence tests pin the levelized engine
+  against it, and ``benchmarks/bench_simulator.py`` measures the speedup.
+
+The simulator also exposes an *activity* counter per wire (toggle
+counts), which feeds the dynamic-power estimate of the synthesis cost
+model.  Counts are keyed by ``(module name, wire name)`` so same-named
+wires in different modules never merge (the seed keyed them by bare wire
+name, skewing the power estimate).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Tuple
 
 from ..errors import SimulationError
 from .module import Module
+from .scheduler import CombScheduler
 from .waveform import Waveform
 
 
 class Simulator:
-    def __init__(self, name: str = "sim", max_settle_iters: int = 64):
+    def __init__(self, name: str = "sim", max_settle_iters: int = 64,
+                 engine: str = "levelized"):
+        if engine not in ("levelized", "brute"):
+            raise ValueError(
+                f"unknown engine {engine!r} (use 'levelized' or 'brute')"
+            )
         self.name = name
+        self.engine = engine
         self.modules: List[Module] = []
         self.cycle = 0
         self.max_settle_iters = max_settle_iters
         self.waveform = Waveform()
-        self.activity: Dict[str, int] = {}
-        self._prev_values: Dict[int, int] = {}
+        self.scheduler = CombScheduler(self)
         self._monitors: List[Callable[[int], None]] = []
+        self._prev_values: Dict[int, int] = {}   # brute engine only
 
     def add(self, module: Module) -> Module:
         self.modules.append(module)
+        self.scheduler.invalidate()
         return module
 
     def watch(self, wire, label: str = ""):
@@ -50,7 +72,15 @@ class Simulator:
         for m in self.modules:
             yield from m.wires()
 
-    def settle(self):
+    def settle(self) -> int:
+        """Run combinational logic to a fixpoint; returns the number of
+        evaluation passes taken."""
+        if self.engine == "brute":
+            return self._settle_brute()
+        return self.scheduler.settle()
+
+    def _settle_brute(self):
+        """The seed algorithm: full re-evaluation with dict snapshots."""
         for iteration in range(self.max_settle_iters):
             before = {id(w): w.value for w in self._all_wires()}
             for m in self.modules:
@@ -66,21 +96,39 @@ class Simulator:
     def step(self):
         """Advance one full clock cycle."""
         self.settle()
-        # toggle counting for the power model
-        for w in self._all_wires():
-            prev = self._prev_values.get(id(w))
-            if prev is not None and prev != w.value:
-                self.activity[w.name] = (
-                    self.activity.get(w.name, 0)
-                    + bin(prev ^ w.value).count("1")
-                )
-            self._prev_values[id(w)] = w.value
+        # toggle counting for the power model: the scheduler tracks which
+        # wires changed during settle, no full snapshot needed
+        if self.engine == "brute":
+            self._brute_activity()
+        else:
+            self.scheduler.commit_activity()
         self.waveform.sample(self.cycle)
         for fn in self._monitors:
             fn(self.cycle)
         for m in self.modules:
             m.tick()
         self.cycle += 1
+
+    def _brute_activity(self):
+        """The seed's per-step toggle accounting: a full pass over every
+        wire with a dict lookup per wire.  Kept verbatim (modulo the
+        per-module keying fix) so benchmarks measure the seed engine's
+        true cost; results land in the scheduler's counters so both
+        engines report identically."""
+        sch = self.scheduler
+        sch.sync_registry()
+        prev_values = self._prev_values
+        toggles = sch._toggles
+        values = sch._values
+        prev_settled = sch._prev_settled
+        for w, wi in sch._scan_all:
+            v = w.value
+            prev = prev_values.get(id(w))
+            if prev is not None and prev != v:
+                toggles[wi] += (prev ^ v).bit_count()
+            prev_values[id(w)] = v
+            values[wi] = v
+            prev_settled[wi] = v
 
     def run(self, cycles: int):
         for _ in range(cycles):
@@ -98,8 +146,16 @@ class Simulator:
             self.step()
         return self.cycle - start
 
+    @property
+    def activity(self) -> Dict[Tuple[str, str], int]:
+        """Per-wire toggle counts keyed by ``(module name, wire name)``."""
+        return self.scheduler.activity()
+
     def total_activity(self) -> int:
-        return sum(self.activity.values())
+        return self.scheduler.total_activity()
 
     def __repr__(self):
-        return f"Simulator({self.name!r}, cycle={self.cycle})"
+        return (
+            f"Simulator({self.name!r}, cycle={self.cycle}, "
+            f"engine={self.engine!r})"
+        )

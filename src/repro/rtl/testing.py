@@ -29,6 +29,12 @@ class PortSource(Module):
     def push(self, *values: int):
         self.queue.extend(values)
 
+    def comb_inputs(self):
+        return ()          # drives from its queue; reads no wires
+
+    def comb_outputs(self):
+        return (self.port.valid, self.port.data)
+
     def eval_comb(self):
         if self.queue:
             self.port.valid.set(1)
@@ -58,6 +64,12 @@ class PortSink(Module):
 
     def values(self) -> List[int]:
         return [v for _, v in self.received]
+
+    def comb_inputs(self):
+        return ()          # readiness depends only on the cycle pattern
+
+    def comb_outputs(self):
+        return (self.port.ack,)
 
     def eval_comb(self):
         self.port.ack.set(1 if self.pattern(self.cycle) else 0)

@@ -9,19 +9,20 @@ class Waveform:
     """Samples watched wires once per cycle (after combinational settle)."""
 
     def __init__(self):
-        self._watched: List[Tuple[str, object]] = []  # (label, wire)
+        # (label, wire, series): the series list is cached at watch time
+        # so the per-cycle sample loop does no dict lookups
+        self._watched: List[Tuple[str, object, List[int]]] = []
         self.samples: Dict[str, List[int]] = {}
 
     def watch(self, wire, label: str = ""):
         label = label or wire.name
-        self._watched.append((label, wire))
-        self.samples.setdefault(label, [])
+        series = self.samples.setdefault(label, [])
+        self._watched.append((label, wire, series))
 
     def sample(self, cycle: int):
-        for label, wire in self._watched:
-            series = self.samples[label]
-            while len(series) < cycle:
-                series.append(0)
+        for _label, wire, series in self._watched:
+            if len(series) < cycle:
+                series.extend([0] * (cycle - len(series)))
             series.append(wire.value)
 
     def series(self, label: str) -> List[int]:
@@ -37,7 +38,7 @@ class Waveform:
             return "(no signals watched)"
         some = next(iter(self.samples.values()))
         last = len(some) if last is None else min(last, len(some))
-        width = max(len(lbl) for lbl, _ in self._watched) + 2
+        width = max(len(lbl) for lbl, _w, _s in self._watched) + 2
         cells = max(
             3,
             max(
@@ -50,7 +51,7 @@ class Waveform:
             f"{c:<{cells}}" for c in range(first, last)
         )
         lines = [header]
-        for label, wire in self._watched:
+        for label, wire, _series in self._watched:
             series = self.samples[label][first:last]
             if wire.width == 1:
                 body = "".join(

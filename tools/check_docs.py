@@ -1,0 +1,69 @@
+"""Docs check: every repo path referenced by README.md and
+docs/ARCHITECTURE.md must exist.
+
+Scans the two documents for things that look like repository paths
+(`src/repro/...`, `tests/`, `benchmarks/...py`, bare module files inside
+backticks or links) and fails if any referenced file or directory is
+missing -- so the architecture map cannot silently rot as the tree
+changes.
+
+Run: python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = [ROOT / "README.md", ROOT / "docs" / "ARCHITECTURE.md"]
+
+# path-like tokens inside backticks or markdown links
+BACKTICK = re.compile(r"`([A-Za-z0-9_./-]+)`")
+LINK = re.compile(r"\]\(([A-Za-z0-9_./-]+)\)")
+
+# roots a doc reference may start with; anything else in backticks is
+# treated as code, not a path
+PATH_ROOTS = ("src/", "tests/", "benchmarks/", "examples/", "docs/",
+              "tools/")
+SUFFIXES = (".py", ".md")
+
+
+def candidate_paths(text: str):
+    for pattern in (BACKTICK, LINK):
+        for token in pattern.findall(text):
+            token = token.rstrip("/")
+            if token.startswith(PATH_ROOTS) or token.endswith(SUFFIXES):
+                # `module.py` without a directory is ambiguous -- skip
+                if "/" not in token:
+                    continue
+                yield token
+
+
+def main() -> int:
+    missing = []
+    checked = 0
+    for doc in DOCS:
+        if not doc.exists():
+            missing.append((str(doc.relative_to(ROOT)), "(document itself)"))
+            continue
+        text = doc.read_text()
+        for ref in sorted(set(candidate_paths(text))):
+            checked += 1
+            # package-relative references (e.g. `rtl/scheduler.py`)
+            # resolve against src/repro/
+            if not (ROOT / ref).exists() and \
+                    not (ROOT / "src" / "repro" / ref).exists():
+                missing.append((doc.name, ref))
+    if missing:
+        for doc, ref in missing:
+            print(f"{doc}: missing referenced path: {ref}",
+                  file=sys.stderr)
+        return 1
+    print(f"docs check OK: {checked} path references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
