@@ -1,28 +1,48 @@
-"""Before/after benchmark of the RTL simulation engine.
+"""Before/after benchmark of the RTL simulation stack, on two axes.
 
-Measures cycles/second of the levelized, dirty-set scheduler
-(``engine="levelized"``) against the seed's brute-force settle loop
-(``engine="brute"``, kept verbatim: full re-evaluation of every module
-per iteration, dict snapshots of every wire, full-pass toggle
-accounting) on the six bundled design families and on the combined
-"sweep" (all six families in one simulator -- the shape the harness
-tables run, and the regime the seed loop handles worst).
+**Engine axis** (``Simulator(engine=...)``): the levelized, dirty-set
+scheduler against the seed's brute-force settle loop (kept verbatim:
+full re-evaluation of every module per iteration, dict snapshots of
+every wire, full-pass toggle accounting) on the six bundled design
+families and the combined "sweep" (all six families in one simulator --
+the shape the harness tables run).
 
-Every measurement also cross-checks equivalence: both engines must
-produce identical waveforms and identical per-wire activity counts.
+**Backend axis** (``build_simulation(backend=...)``): the generated-
+Python FSM backend (``pycompiled``: plans compiled to specialized
+Python by ``repro.codegen.pysim``) against the plan interpreter
+(``interp``) on the six *Anvil-only* scenarios -- the workloads that are
+almost entirely compiled-process execution -- plus their combined sweep,
+and the full engine x backend matrix on that sweep.
+
+Every measurement cross-checks equivalence on both axes: the two
+variants must produce identical waveforms (the scenarios watch every
+compiled process's received-message wires) and identical per-wire
+activity counts.  The pysim compile-cache counters are reported at the
+end (repeated rows must hit, not recompile).
 
 Run::
 
     PYTHONPATH=src python benchmarks/bench_simulator.py            # full
     PYTHONPATH=src python benchmarks/bench_simulator.py --quick    # CI
+    PYTHONPATH=src python benchmarks/bench_simulator.py --json out.json
 """
 
 import argparse
+import json
 import statistics
 import sys
 import time
 
-from repro.harness.scenarios import SCENARIOS, build_scenario, build_sweep
+from repro.codegen import pysim
+from repro.codegen.simfsm import BACKENDS
+from repro.harness.scenarios import (
+    ANVIL_SCENARIOS,
+    SCENARIOS,
+    build_anvil_scenario,
+    build_anvil_sweep,
+    build_scenario,
+    build_sweep,
+)
 
 ENGINES = ("brute", "levelized")
 
@@ -41,27 +61,43 @@ def _measure(builder, cycles, warmup, repeats):
     return best, sim
 
 
-def bench_one(name, builders, cycles, warmup, repeats, check):
+def bench_pair(name, builders, variants, cycles, warmup, repeats, check):
+    """Measure two variants of one design and cross-check equivalence
+    (identical per-wire activity counts and identical waveforms)."""
     cps = {}
     sims = {}
-    for engine in ENGINES:
-        cps[engine], sims[engine] = _measure(
-            builders[engine], cycles, warmup, repeats
+    for variant in variants:
+        cps[variant], sims[variant] = _measure(
+            builders[variant], cycles, warmup, repeats
         )
+    a, b = variants
     equivalent = True
     if check:
         equivalent = (
-            sims["brute"].activity == sims["levelized"].activity
-            and sims["brute"].waveform.samples
-            == sims["levelized"].waveform.samples
+            sims[a].activity == sims[b].activity
+            and sims[a].waveform.samples == sims[b].waveform.samples
         )
     return {
         "name": name,
-        "brute": cps["brute"],
-        "levelized": cps["levelized"],
-        "speedup": cps["levelized"] / cps["brute"],
+        a: cps[a],
+        b: cps[b],
+        "speedup": cps[b] / cps[a],
         "equivalent": equivalent,
     }
+
+
+def _print_rows(rows, variants, label):
+    a, b = variants
+    print(f"{'design':18s} {a + ' c/s':>12} {b + ' c/s':>14} "
+          f"{'speedup':>8}  equal")
+    for r in rows:
+        print(f"{r['name']:18s} {r[a]:12.0f} {r[b]:14.0f} "
+              f"{r['speedup']:7.2f}x  "
+              f"{'yes' if r['equivalent'] else 'NO'}")
+    geo = statistics.geometric_mean(r["speedup"] for r in rows[:-1])
+    print(f"\nper-design geomean {label} speedup: {geo:.2f}x")
+    print(f"design-sweep {label} speedup:       {rows[-1]['speedup']:.2f}x")
+    return geo
 
 
 def main(argv=None):
@@ -72,7 +108,11 @@ def main(argv=None):
                     help="measured cycles per scenario")
     ap.add_argument("--seed", type=int, default=3)
     ap.add_argument("--no-check", action="store_true",
-                    help="skip the waveform/activity equivalence check")
+                    help="skip the waveform/activity equivalence checks")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="write the full result blob (per-design "
+                    "cycles/sec for every engine x backend measured) "
+                    "as JSON")
     args = ap.parse_args(argv)
 
     cycles = args.cycles or (200 if args.quick else 1500)
@@ -82,36 +122,100 @@ def main(argv=None):
     check = not args.no_check
     stim = max(cycles * 2, 500)
 
-    rows = []
+    # -- engine axis: brute vs levelized on the mixed scenarios ----------
+    engine_rows = []
     for name in SCENARIOS:
         builders = {
             engine: (lambda e=engine, n=name: build_scenario(
                 n, engine=e, seed=args.seed, stim=stim))
             for engine in ENGINES
         }
-        rows.append(bench_one(name, builders, cycles, warmup, repeats,
-                              check))
+        engine_rows.append(bench_pair(name, builders, ENGINES, cycles,
+                                      warmup, repeats, check))
     sweep_builders = {
         engine: (lambda e=engine: build_sweep(
             e, seed=args.seed, stim=stim))
         for engine in ENGINES
     }
-    sweep = bench_one("sweep (all six)", sweep_builders, sweep_cycles,
-                      warmup, repeats, check)
-    rows.append(sweep)
+    engine_rows.append(bench_pair("sweep (all six)", sweep_builders,
+                                  ENGINES, sweep_cycles, warmup, repeats,
+                                  check))
 
-    print(f"{'design':18s} {'seed c/s':>10} {'levelized c/s':>14} "
-          f"{'speedup':>8}  equal")
-    for r in rows:
-        print(f"{r['name']:18s} {r['brute']:10.0f} "
-              f"{r['levelized']:14.0f} {r['speedup']:7.2f}x  "
-              f"{'yes' if r['equivalent'] else 'NO'}")
-    geo = statistics.geometric_mean(r["speedup"] for r in rows[:-1])
-    print(f"\nper-design geomean speedup: {geo:.2f}x")
-    print(f"design-sweep speedup:       {sweep['speedup']:.2f}x")
+    print("== engine axis: seed brute-force loop vs levelized "
+          "scheduler ==")
+    _print_rows(engine_rows, ENGINES, "engine")
 
-    if not all(r["equivalent"] for r in rows):
-        print("ERROR: engines disagree on waveforms or activity",
+    # -- backend axis: plan interpreter vs generated Python --------------
+    backend_rows = []
+    for name in ANVIL_SCENARIOS:
+        builders = {
+            backend: (lambda b=backend, n=name: build_anvil_scenario(
+                n, seed=args.seed, stim=stim, backend=b))
+            for backend in BACKENDS
+        }
+        backend_rows.append(bench_pair(name, builders, BACKENDS,
+                                       cycles, warmup, repeats, check))
+    sweep_builders = {
+        backend: (lambda b=backend: build_anvil_sweep(
+            seed=args.seed, stim=stim, backend=b))
+        for backend in BACKENDS
+    }
+    backend_rows.append(bench_pair("sweep (all six)", sweep_builders,
+                                   BACKENDS, sweep_cycles, warmup,
+                                   repeats, check))
+
+    print("\n== backend axis: plan interpreter vs generated Python "
+          "(Anvil-only scenarios) ==")
+    _print_rows(backend_rows, BACKENDS, "backend")
+
+    # -- the full engine x backend matrix on the Anvil sweep -------------
+    print("\n== engine x backend matrix (Anvil sweep, cycles/sec) ==")
+    matrix = {}
+    matrix_cycles = max(sweep_cycles // 2, 60)
+    for engine in ENGINES:
+        for backend in BACKENDS:
+            cps, _sim = _measure(
+                lambda e=engine, b=backend: build_anvil_sweep(
+                    engine=e, seed=args.seed, stim=stim, backend=b),
+                matrix_cycles, warmup, 1,
+            )
+            matrix[f"{engine}/{backend}"] = cps
+    print(f"{'':12s} " + " ".join(f"{b:>12}" for b in BACKENDS))
+    for engine in ENGINES:
+        print(f"{engine:12s} " + " ".join(
+            f"{matrix[f'{engine}/{b}']:12.0f}" for b in BACKENDS))
+
+    stats = pysim.cache_stats()
+    print(f"\npysim compile cache: {stats['hits']} hits, "
+          f"{stats['misses']} misses, {stats['entries']} entries")
+
+    ok = (all(r["equivalent"] for r in engine_rows)
+          and all(r["equivalent"] for r in backend_rows))
+
+    if args.json:
+        blob = {
+            "config": {
+                "quick": args.quick,
+                "cycles": cycles,
+                "sweep_cycles": sweep_cycles,
+                "seed": args.seed,
+                "repeats": repeats,
+                "checked": check,
+            },
+            "engine_axis": engine_rows,
+            "backend_axis": backend_rows,
+            "anvil_sweep_matrix": matrix,
+            "pysim_cache": stats,
+            # null (not true) when --no-check skipped the comparisons,
+            # so an unverified blob can't masquerade as a verified one
+            "equivalent": ok if check else None,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(blob, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    if not ok:
+        print("ERROR: variants disagree on waveforms or activity",
               file=sys.stderr)
         return 1
     return 0

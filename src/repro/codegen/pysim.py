@@ -1,0 +1,500 @@
+"""Generated-Python FSM backend: compile the plan, not interpret it.
+
+The reference interpreter in :mod:`repro.codegen.simfsm` re-walks a
+process's :class:`~repro.core.fsmplan.ProcessPlan` on every settle
+iteration of every cycle -- generic dispatch on event kinds, recursive
+``RExpr.eval`` per expression node.  This module removes all of that
+per-cycle interpretation: from the plan it emits straight-line Python
+source -- one specialized **fire** function per thread (the settle-pass
+body: compute the events firing this cycle, drive handshake wires,
+populate the same-cycle overlay) and one specialized **commit** function
+per thread (the clock-edge body: commit register writes, slots and debug
+prints for the fired events) -- with every runtime expression lowered to
+an inline Python expression by :meth:`~repro.codegen.rexpr.RExpr.to_python`.
+The source is ``compile()``d and ``exec``'d once per distinct plan and
+cached, so harness sweeps that rebuild the same design row after row
+never pay the compilation twice.
+
+Both backends must stay observationally identical -- same waveforms,
+same toggle counts, same diagnostics; ``tests/test_pysim.py`` pins that
+over randomized workloads of all six design families.
+
+Caching
+-------
+
+Generated source is a pure function of the plan, so the compile cache is
+keyed by the SHA-256 of the source itself (which also fingerprints the
+optimization flags -- a plan built with ``do_optimize=False`` generates
+different source).  Rebuilding a process from the same factory therefore
+hits the cache even though the :class:`~repro.lang.process.Process`
+object is new.  :func:`cache_stats` exposes hit/miss counters for the
+benchmark; :func:`clear_cache` resets the cache (tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, List, Tuple
+
+from ..core.events import EventKind, SyncDir
+from ..core.fsmplan import (
+    CommitExpr,
+    CommitFlag,
+    CommitPrint,
+    CommitRecv,
+    CommitReg,
+    LatchExpr,
+    LatchFlag,
+    LatchRecv,
+    ProcessPlan,
+    ThreadPlan,
+)
+
+
+class _Emitter:
+    """Tiny indented-source builder."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self._indent = 0
+
+    def line(self, text: str = ""):
+        self.lines.append("    " * self._indent + text if text else "")
+
+    def push(self):
+        self._indent += 1
+
+    def pop(self):
+        self._indent -= 1
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _ExprCtx:
+    """The context handed to ``RExpr.to_python``: pooled constants, fresh
+    temporaries, and handshake-wire name resolution against the plan's
+    port table."""
+
+    def __init__(self, plan: ProcessPlan):
+        self.plan = plan
+        self.consts: Dict[object, str] = {}
+        self.const_order: List[Tuple[str, object]] = []
+        self._temp = 0
+        self._cse_n = 0
+        self.cse: Dict[int, str] = {}    # id(node) -> temp name
+        self.used_ports: set = set()
+
+    def sub(self, node) -> str:
+        """Render a child expression -- through the active CSE table, so
+        a hoisted shared node renders as its temporary's name."""
+        name = self.cse.get(id(node))
+        if name is not None:
+            return name
+        return node.to_python(self)
+
+    def const(self, value) -> str:
+        name = self.consts.get(value)
+        if name is None:
+            name = f"_K{len(self.consts)}"
+            self.consts[value] = name
+            self.const_order.append((name, value))
+        return name
+
+    def temp(self) -> str:
+        self._temp += 1
+        return f"_i{self._temp}"
+
+    def wire(self, port: int, role: str) -> str:
+        self.used_ports.add(port)
+        return f"_w{port}{role[0]}"      # _w3d / _w3v / _w3a
+
+    def ready(self, endpoint: str, message: str) -> str:
+        idx = self.plan.port_index[(endpoint, message)]
+        pp = self.plan.ports[idx]
+        role = "ack" if pp.is_sender else "valid"
+        return f"{self.wire(idx, role)}.value"
+
+
+def _emit_expr(em: _Emitter, ctx: _ExprCtx, expr) -> str:
+    """Render ``expr`` at the current emission point, hoisting shared
+    subexpression DAG nodes into local temporaries first.
+
+    Runtime expressions are DAGs with heavy sharing (the AES round
+    functions reuse xtime chains hundreds of times); inlining them as
+    trees makes the generated source exponential.  Within one evaluation
+    site the environment is fixed, so every shared node can be computed
+    once: composite nodes referenced more than once are assigned to
+    ``_eN`` locals in dependency order, and the returned expression
+    refers to those names."""
+    counts: Dict[int, int] = {}
+    topo: List = []
+
+    def visit(node):
+        nid = id(node)
+        counts[nid] = counts.get(nid, 0) + 1
+        if counts[nid] > 1:
+            return
+        for child in node.children():
+            visit(child)
+        topo.append(node)
+
+    visit(expr)
+    hoisted = ctx.cse
+    for node in topo:
+        if counts[id(node)] >= 2 and node.children():
+            rendered = node.to_python(ctx)
+            ctx._cse_n += 1
+            name = f"_e{ctx._cse_n}"
+            em.line(f"{name} = {rendered}")
+            hoisted[id(node)] = name
+    out = ctx.sub(expr)
+    ctx.cse = {}
+    return out
+
+
+def _emit_latches(em: _Emitter, ctx: _ExprCtx, latches):
+    for latch in latches:
+        if type(latch) is LatchRecv:
+            em.line(f"_ov[{latch.target}] = "
+                    f"{ctx.wire(latch.port, 'data')}.value")
+        elif type(latch) is LatchFlag:
+            v = ctx.wire(latch.port, "valid")
+            a = ctx.wire(latch.port, "ack")
+            em.line(f"_ov[{latch.target}] = "
+                    f"1 if ({v}.value and {a}.value) else 0")
+        else:   # LatchExpr
+            rendered = _emit_expr(em, ctx, latch.source)
+            em.line(f"_ov[{latch.slot}] = {rendered}")
+
+
+def _gen_fire(em: _Emitter, ctx: _ExprCtx, tp: ThreadPlan):
+    """The settle-pass body: a straight-line specialization of the
+    interpreter's ``_fire_set`` in event order."""
+    for ep in tp.events:
+        eid = ep.eid
+        kind = ep.kind
+        em.line(f"# e{eid} {kind.value}" +
+                (f" {ep.sync_key[0]}.{ep.sync_key[1]}" if ep.sync_key else ""))
+        if kind is EventKind.ROOT:
+            em.line(f"if {eid} not in af and _st == now:")
+            em.push()
+            em.line(f"fn[{eid}] = now")
+            _emit_latches(em, ctx, ep.latches)
+            em.pop()
+            continue
+        preds = ep.preds
+        if kind is EventKind.JOIN_ANY:
+            em.line(f"if {eid} not in af and {eid} not in ad:")
+            em.push()
+            fired = " or ".join(
+                f"{p} in af or {p} in fn" for p in preds
+            ) or "False"
+            em.line(f"if {fired}:")
+            em.push()
+            em.line(f"fn[{eid}] = now")
+            _emit_latches(em, ctx, ep.latches)
+            em.pop()
+            dead = " and ".join(
+                f"({p} in ad or {p} in dn)" for p in preds
+            ) or "True"
+            em.line(f"elif {dead}:")
+            em.push()
+            em.line(f"dn.add({eid})")
+            em.pop()
+            em.pop()
+            continue
+        # DELAY / JOIN_ALL / BRANCH / SYNC: need every predecessor
+        em.line(f"if {eid} not in af and {eid} not in ad:")
+        em.push()
+        pops = 1
+        if preds:
+            dead = " or ".join(f"{p} in ad or {p} in dn" for p in preds)
+            em.line(f"if {dead}:")
+            em.push()
+            em.line(f"dn.add({eid})")
+            em.pop()
+            em.line("else:")
+            em.push()
+            pops += 1
+            cvars = []
+            for j, p in enumerate(preds):
+                cv = f"_c{j}"
+                cvars.append(cv)
+                em.line(f"{cv} = af.get({p})")
+                em.line(f"if {cv} is None:")
+                em.push()
+                em.line(f"{cv} = fn.get({p})")
+                em.pop()
+            em.line("if " + " and ".join(f"{c} is not None" for c in cvars)
+                    + ":")
+            em.push()
+            pops += 1
+            if kind is EventKind.DELAY:       # only DELAY consumes _b
+                em.line("_b = _st")
+                for cv in cvars:
+                    em.line(f"if {cv} > _b:")
+                    em.push()
+                    em.line(f"_b = {cv}")
+                    em.pop()
+        elif kind is EventKind.DELAY:
+            em.line("_b = _st")
+
+        if kind is EventKind.DELAY:
+            em.line(f"if _b + {ep.delay} == now:")
+            em.push()
+            em.line(f"fn[{eid}] = now")
+            _emit_latches(em, ctx, ep.latches)
+            em.pop()
+        elif kind is EventKind.JOIN_ALL:
+            em.line(f"fn[{eid}] = now")
+            _emit_latches(em, ctx, ep.latches)
+        elif kind is EventKind.BRANCH:
+            if ep.cond_expr is not None:
+                rendered = _emit_expr(em, ctx, ep.cond_expr)
+                em.line(f"_x = ({rendered}) & 1")
+            else:
+                em.line("_x = 0")
+            em.line("if _x:" if ep.polarity else "if not _x:")
+            em.push()
+            em.line(f"fn[{eid}] = now")
+            _emit_latches(em, ctx, ep.latches)
+            em.pop()
+            em.line("else:")
+            em.push()
+            em.line(f"dn.add({eid})")
+            em.pop()
+        elif kind is EventKind.SYNC:
+            key = repr(ep.sync_key)
+            em.line(f"if {key} not in busy:")
+            em.push()
+            em.line(f"busy.add({key})")
+            if ep.guard is not None:
+                rendered = _emit_expr(em, ctx, ep.guard)
+                em.line(f"_g = ({rendered}) & 1")
+            pidx = ep.port
+            v = ctx.wire(pidx, "valid")
+            a = ctx.wire(pidx, "ack")
+            d = ctx.wire(pidx, "data")
+            drive_guarded = ep.guard is not None
+            if drive_guarded:
+                em.line("if _g:")
+                em.push()
+            if ep.direction is SyncDir.SEND:
+                em.line(f"{v}.value = 1")
+                if ep.payload is not None:
+                    rendered = _emit_expr(em, ctx, ep.payload)
+                    em.line(f"{d}.value = ({rendered}) & {d}.mask")
+                else:
+                    em.line(f"{d}.value = 0")
+            else:
+                em.line(f"{a}.value = 1")
+            if drive_guarded:
+                em.pop()
+            if ep.conditional:
+                em.line(f"fn[{eid}] = now")
+                _emit_latches(em, ctx, ep.latches)
+            else:
+                em.line(f"if {v}.value and {a}.value:")
+                em.push()
+                em.line(f"fn[{eid}] = now")
+                _emit_latches(em, ctx, ep.latches)
+                em.pop()
+            em.pop()
+        else:  # pragma: no cover - exhaustive over EventKind
+            raise AssertionError(kind)
+        for _ in range(pops):
+            em.pop()
+
+
+def _gen_commit(em: _Emitter, ctx: _ExprCtx, tp: ThreadPlan):
+    """The clock-edge body: apply the committed effects of every event in
+    the settled fire set, in event order."""
+    em.line("af.update(fn)")
+    for ep in tp.events:
+        if not ep.commits:
+            continue
+        em.line(f"if {ep.eid} in fn:")
+        em.push()
+        for c in ep.commits:
+            if type(c) is CommitReg:
+                rendered = _emit_expr(em, ctx, c.source)
+                em.line(f"_rw.append(({c.reg!r}, {rendered}))")
+            elif type(c) is CommitRecv:
+                t = c.target
+                em.line(f"_sl[{t}] = _ov[{t}] if {t} in _ov else "
+                        f"{ctx.wire(c.port, 'data')}.value")
+            elif type(c) is CommitFlag:
+                t = c.target
+                v = ctx.wire(c.port, "valid")
+                a = ctx.wire(c.port, "ack")
+                em.line(f"_sl[{t}] = _ov[{t}] if {t} in _ov else "
+                        f"(1 if ({v}.value and {a}.value) else 0)")
+            elif type(c) is CommitExpr:
+                s = c.slot
+                rendered = _emit_expr(em, ctx, c.source)
+                em.line(f"_sl[{s}] = _ov[{s}] if {s} in _ov else "
+                        f"({rendered})")
+            else:   # CommitPrint
+                if c.source is not None:
+                    rendered = _emit_expr(em, ctx, c.source)
+                    em.line(f"_v = {rendered}")
+                else:
+                    em.line("_v = None")
+                em.line(f"m.debug_log.append((now, {c.fmt!r}, _v))")
+                em.line("if m.print_debug:")
+                em.push()
+                em.line('_sfx = "" if _v is None else f" {_v:#x}"')
+                em.line(f'print(f"[{{now}}] {{m.name}}: " + {c.fmt!r}'
+                        " + _sfx)")
+                em.pop()
+        em.pop()
+
+
+def _port_binds(ctx: _ExprCtx) -> List[str]:
+    """Local bindings for the port wires the body actually touches."""
+    out = []
+    for pidx in sorted(ctx.used_ports):
+        base = 3 * pidx
+        out.append(f"    _w{pidx}d = pw[{base}]; _w{pidx}v = pw[{base + 1}]"
+                   f"; _w{pidx}a = pw[{base + 2}]")
+    return out
+
+
+def generate_source(plan: ProcessPlan) -> str:
+    """Deterministically render ``plan`` as a Python module defining
+    ``_FIRE`` and ``_COMMIT`` tuples (one entry per thread)."""
+    ctx = _ExprCtx(plan)
+    chunks: List[str] = []
+    header = [
+        f"# pysim backend for process {plan.name!r} "
+        f"(optimized={plan.optimized})",
+        f"# {len(plan.threads)} thread(s), {len(plan.ports)} port(s)",
+    ]
+    fire_names = []
+    commit_names = []
+    for tp in plan.threads:
+        # fire ---------------------------------------------------------
+        em = _Emitter()
+        em.push()
+        ctx.used_ports = set()
+        _gen_fire(em, ctx, tp)
+        em.pop()
+        body = em.lines
+        name = f"_t{tp.index}_fire"
+        fire_names.append(name)
+        fn_lines = [f"def {name}(m, act, busy):",
+                    "    now = m.cycle",
+                    "    _r = m.regs",
+                    "    _sl = act.slots",
+                    "    af = act.fired",
+                    "    ad = act.dead",
+                    "    _st = act.start",
+                    "    fn = {}",
+                    "    dn = set()",
+                    "    _ov = {}"]
+        if ctx.used_ports:
+            fn_lines.append("    pw = m._pw")
+            fn_lines.extend(_port_binds(ctx))
+        fn_lines.extend(body)
+        fn_lines.append("    return fn, dn, _ov")
+        chunks.append("\n".join(fn_lines))
+        # commit -------------------------------------------------------
+        em = _Emitter()
+        em.push()
+        ctx.used_ports = set()
+        _gen_commit(em, ctx, tp)
+        em.pop()
+        body = em.lines
+        name = f"_t{tp.index}_commit"
+        commit_names.append(name)
+        fn_lines = [f"def {name}(m, act, fn, _ov):",
+                    "    now = m.cycle",
+                    "    _r = m.regs",
+                    "    _sl = act.slots",
+                    "    af = act.fired",
+                    "    _rw = m._reg_writes"]
+        if ctx.used_ports:
+            fn_lines.append("    pw = m._pw")
+            fn_lines.extend(_port_binds(ctx))
+        fn_lines.extend(body)
+        chunks.append("\n".join(fn_lines))
+    consts = [f"{name} = {value!r}" for name, value in ctx.const_order]
+    footer = [
+        f"_FIRE = ({', '.join(fire_names)}{',' if fire_names else ''})",
+        f"_COMMIT = ({', '.join(commit_names)}"
+        f"{',' if commit_names else ''})",
+    ]
+    return "\n".join(header + consts + [""] +
+                     ["\n\n".join(chunks)] + [""] + footer) + "\n"
+
+
+class PyBackend:
+    """A compiled plan: per-thread fire/commit functions + their source."""
+
+    __slots__ = ("source", "fire", "commit")
+
+    def __init__(self, source: str, fire: Tuple, commit: Tuple):
+        self.source = source
+        self.fire = fire
+        self.commit = commit
+
+
+_CACHE: Dict[str, PyBackend] = {}
+_LOCK = threading.Lock()
+_STATS = {"hits": 0, "misses": 0}
+
+
+def backend_for(plan: ProcessPlan) -> PyBackend:
+    """Return the compiled backend for ``plan``, compiling at most once
+    per distinct generated source (thread-safe; harness sweeps build
+    simulators from worker threads).
+
+    Two cache levels: a per-plan memo (repeat instantiation of one
+    compiled process -- e.g. N instances in a System -- skips even the
+    source regeneration and does not touch the hit/miss counters) and
+    the source-hash cache underneath it (distinct plans of identical
+    designs share one compilation)."""
+    memo = plan._backend
+    if memo is not None:
+        return memo
+    source = generate_source(plan)
+    key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    with _LOCK:
+        hit = _CACHE.get(key)
+        if hit is not None:
+            _STATS["hits"] += 1
+            plan._backend = hit
+            return hit
+    code = compile(source, f"<pysim:{plan.name}>", "exec")
+    ns: Dict[str, object] = {}
+    exec(code, ns)
+    backend = PyBackend(source, tuple(ns["_FIRE"]), tuple(ns["_COMMIT"]))
+    with _LOCK:
+        winner = _CACHE.setdefault(key, backend)
+        # a concurrent caller may have compiled the same source first;
+        # only the insertion counts as a miss, so hits + misses always
+        # equals calls and misses equals cache entries
+        if winner is backend:
+            _STATS["misses"] += 1
+        else:
+            _STATS["hits"] += 1
+    plan._backend = winner
+    return winner
+
+
+def cache_stats() -> Dict[str, int]:
+    """Compile-cache counters (the benchmark's cache-stats hook)."""
+    with _LOCK:
+        return {"hits": _STATS["hits"], "misses": _STATS["misses"],
+                "entries": len(_CACHE)}
+
+
+def clear_cache():
+    """Reset the source-hash cache and counters (per-plan memos on
+    already-built ProcessPlan objects are unaffected)."""
+    with _LOCK:
+        _CACHE.clear()
+        _STATS["hits"] = 0
+        _STATS["misses"] = 0

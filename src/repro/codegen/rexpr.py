@@ -4,7 +4,9 @@ The graph builder splits each Anvil term into (a) timing structure -- events
 in the event graph -- and (b) a *runtime expression* describing the
 combinational value the term denotes.  Runtime expressions are evaluated by
 the simulator against the current register file and per-activation slot
-storage, and are pretty-printed by the SystemVerilog backend.  Because the
+storage, pretty-printed by the SystemVerilog backend, and lowered to
+inline Python source by :meth:`RExpr.to_python` for the generated-Python
+simulation backend (:mod:`repro.codegen.pysim`).  Because the
 type checker guarantees that every register a value depends on stays
 unchanged throughout the value's uses, evaluating lazily at use time is
 equivalent to the wire semantics of the generated hardware.
@@ -36,6 +38,16 @@ class RExpr:
     def eval(self, env: REnv) -> int:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def to_python(self, ctx) -> str:  # pragma: no cover - interface
+        """Emit a Python expression computing exactly what :meth:`eval`
+        returns.  The expression may reference the names the generated
+        backend binds locally -- ``_r`` (register file), ``_sl``
+        (committed slots), ``_ov`` (same-cycle overlay) -- plus whatever
+        ``ctx`` hands out: ``ctx.ready(ep, msg)`` for handshake
+        observations, ``ctx.const(value)`` for pooled constants and
+        ``ctx.temp()`` for fresh local names."""
+        raise NotImplementedError
+
     def gate_count(self) -> Dict[str, int]:
         """Rough decomposition into gates, used by the synthesis model."""
         return {}
@@ -54,6 +66,9 @@ class RUnit(RExpr):
     def eval(self, env):
         return 0
 
+    def to_python(self, ctx):
+        return "0"
+
     def __repr__(self):
         return "()"
 
@@ -66,6 +81,9 @@ class RLit(RExpr):
     def eval(self, env):
         return self.value
 
+    def to_python(self, ctx):
+        return str(self.value)
+
     def __repr__(self):
         return f"{self.width}'d{self.value}"
 
@@ -77,6 +95,9 @@ class RReg(RExpr):
 
     def eval(self, env):
         return mask(env.regs[self.name], self.width)
+
+    def to_python(self, ctx):
+        return f"(_r[{self.name!r}] & {(1 << self.width) - 1})"
 
     def __repr__(self):
         return f"*{self.name}"
@@ -93,6 +114,11 @@ class RSlot(RExpr):
 
     def eval(self, env):
         return mask(env.slots.get(self.slot, 0), self.width)
+
+    def to_python(self, ctx):
+        s = self.slot
+        return (f"((_ov[{s}] if {s} in _ov else _sl.get({s}, 0))"
+                f" & {(1 << self.width) - 1})")
 
     def __repr__(self):
         return f"slot{self.slot}" + (f"({self.note})" if self.note else "")
@@ -171,6 +197,38 @@ class RBin(RExpr):
             return mask((x << self.b.width) | mask(y, self.b.width), self.width)
         raise AssertionError(op)
 
+    def to_python(self, ctx):
+        a = ctx.sub(self.a)
+        b = ctx.sub(self.b)
+        op = self.op
+        m = (1 << self.width) - 1
+        # operands are already masked to their own widths by their own
+        # to_python, so the comparison-width masking eval() performs is
+        # the identity here
+        if op == "add":
+            return f"((({a}) + ({b})) & {m})"
+        if op == "sub":
+            return f"((({a}) - ({b})) & {m})"
+        if op == "mul":
+            return f"((({a}) * ({b})) & {m})"
+        if op == "and":
+            return f"((({a}) & ({b})) & {m})"
+        if op == "or":
+            return f"((({a}) | ({b})) & {m})"
+        if op == "xor":
+            return f"((({a}) ^ ({b})) & {m})"
+        if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            pyop = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+                    "gt": ">", "ge": ">="}[op]
+            return f"(1 if ({a}) {pyop} ({b}) else 0)"
+        if op == "shl":
+            return f"((({a}) << ({b})) & {m})"
+        if op == "shr":
+            return f"((({a}) >> ({b})) & {m})"
+        if op == "concat":
+            return f"(((({a}) << {self.b.width}) | ({b})) & {m})"
+        raise AssertionError(op)
+
     def gate_count(self):
         out: Dict[str, int] = {}
         if self.op in ("shl", "shr") and isinstance(self.b, RLit):
@@ -228,6 +286,21 @@ class RUn(RExpr):
             return bin(mask(x, self.a.width)).count("1") & 1
         raise AssertionError(self.op)
 
+    def to_python(self, ctx):
+        a = ctx.sub(self.a)
+        m = (1 << self.width) - 1
+        if self.op == "not":
+            return f"((~({a})) & {m})"
+        if self.op == "neg":
+            return f"((-({a})) & {m})"
+        if self.op == "redor":
+            return f"(1 if ({a}) != 0 else 0)"
+        if self.op == "redand":
+            return f"(1 if ({a}) == {(1 << self.a.width) - 1} else 0)"
+        if self.op == "redxor":
+            return f"(({a}).bit_count() & 1)"
+        raise AssertionError(self.op)
+
     def gate_count(self):
         if self.op in ("not", "neg"):
             return {"inv": self.width}
@@ -255,6 +328,10 @@ class RSlice(RExpr):
     def eval(self, env):
         return mask(self.a.eval(env) >> self.lo, self.width)
 
+    def to_python(self, ctx):
+        return (f"((({ctx.sub(self.a)}) >> {self.lo})"
+                f" & {(1 << self.width) - 1})")
+
     def __repr__(self):
         return f"{self.a!r}[{self.hi}:{self.lo}]"
 
@@ -274,6 +351,10 @@ class RField(RExpr):
     def eval(self, env):
         return mask(self.a.eval(env) >> self.lo, self.width)
 
+    def to_python(self, ctx):
+        return (f"((({ctx.sub(self.a)}) >> {self.lo})"
+                f" & {(1 << self.width) - 1})")
+
     def __repr__(self):
         return f"{self.a!r}.{self.name}"
 
@@ -291,6 +372,21 @@ class RBundle(RExpr):
         return self.dtype.pack(
             {k: v.eval(env) for k, v in self.fields.items()}
         )
+
+    def to_python(self, ctx):
+        # inline Bundle.pack: mask each field to its *field* width and
+        # shift into place, LSB-first
+        parts = []
+        lo = 0
+        for name, ftype in self.dtype.fields:
+            sub = self.fields.get(name)
+            if sub is not None:
+                fm = (1 << ftype.width) - 1
+                term = f"((({ctx.sub(sub)}) & {fm}) << {lo})" if lo \
+                    else f"(({ctx.sub(sub)}) & {fm})"
+                parts.append(term)
+            lo += ftype.width
+        return f"({' | '.join(parts)})" if parts else "0"
 
     def __repr__(self):
         return f"{{{', '.join(self.fields)}}}"
@@ -311,6 +407,11 @@ class RMux(RExpr):
             self.a.eval(env) if self.cond.eval(env) & 1 else self.b.eval(env),
             self.width,
         )
+
+    def to_python(self, ctx):
+        return (f"((({ctx.sub(self.a)}) if "
+                f"(({ctx.sub(self.cond)}) & 1) else "
+                f"({ctx.sub(self.b)})) & {(1 << self.width) - 1})")
 
     def gate_count(self):
         return {"mux2": self.width}
@@ -342,6 +443,16 @@ class RTable(RExpr):
             return 0
         return mask(self.entries[i], self.width)
 
+    def to_python(self, ctx):
+        table = ctx.const(tuple(
+            mask(e, self.width) for e in self.entries
+        ))
+        tmp = ctx.temp()
+        im = (1 << self._idx_bits) - 1
+        return (f"(({table}[{tmp}]) if "
+                f"({tmp} := (({ctx.sub(self.index)}) & {im}))"
+                f" < {len(self.entries)} else 0)")
+
     def gate_count(self):
         return {"lut4": max(len(self.entries) * self.width // 16, 1)}
 
@@ -361,6 +472,9 @@ class RReady(RExpr):
 
     def eval(self, env):
         return int(bool(env.ready_fn(self.endpoint, self.message)))
+
+    def to_python(self, ctx):
+        return f"(1 if {ctx.ready(self.endpoint, self.message)} else 0)"
 
     def __repr__(self):
         return f"ready({self.endpoint}.{self.message})"

@@ -2,9 +2,22 @@
 
 The paper's compiler lowers the event graph to an FSM with one ``current``
 wire per event plus state registers for joins, cycle delays and dynamic
-sends/receives (Section 6.2).  This module is the executable analogue: a
-:class:`CompiledProcess` holds the (optimized) event graph per thread and
-:class:`AnvilProcessModule` interprets it cycle by cycle:
+sends/receives (Section 6.2).  This module is the executable analogue,
+split into three layers:
+
+1. :func:`compile_process` lowers a process through
+   :func:`repro.core.fsmplan.build_process_plan` into a backend-neutral
+   **FSM plan** (per-thread firing order, latch/commit specs, the exact
+   handshake sensitivity sets);
+2. :class:`AnvilProcessModule` owns the run-time state -- activations,
+   per-activation slots, the register file, handshake ports -- and the
+   **reference interpreter** that walks the plan cycle by cycle;
+3. ``backend="pycompiled"`` swaps the interpreter's per-thread fire and
+   commit steps for functions generated, ``compile()``d and ``exec``'d
+   from the same plan by :mod:`repro.codegen.pysim` -- semantically
+   identical, several times faster.
+
+Execution semantics (identical across backends):
 
 * event firing is computed *combinationally* each settle iteration (the
   ``current`` wires), monotonically within a cycle;
@@ -15,36 +28,44 @@ sends/receives (Section 6.2).  This module is the executable analogue: a
   overlap exactly as the language semantics prescribe.
 
 Because the type checker has already guaranteed timing safety, the
-interpreter needs no value buffering beyond what the FSM itself has --
+backends need no value buffering beyond what the FSM itself has --
 which is why the generated hardware carries no lifetime bookkeeping.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from functools import partial
+from typing import Dict, List, Optional, Tuple
 
-from ..core.events import (
-    DebugPrintAction,
-    EventGraph,
-    EventKind,
-    RecvBindAction,
-    RegWriteAction,
-    SendDataAction,
-    SyncDir,
-    SyncFlagAction,
-    SyncGuardAction,
+from ..core.events import EventGraph, EventKind, SyncDir
+from ..core.fsmplan import (
+    CommitExpr,
+    CommitFlag,
+    CommitRecv,
+    CommitReg,
+    LatchFlag,
+    LatchRecv,
+    ProcessPlan,
+    ThreadPlan,
+    build_process_plan,
+    port_reads,
+    port_writes,
 )
-from ..core.graph_builder import BuildResult, GraphBuilder, LatchAction
-from ..core.optimize import optimize
 from ..errors import ContractViolationError, SimulationError
 from ..lang.channels import Side
-from ..lang.process import Process, System, Thread
+from ..lang.process import Process, System
 from ..rtl.module import Module
 from ..rtl.signal import Wire
 from . import rexpr as rx
 
+#: execution backends an :class:`AnvilProcessModule` can run on
+BACKENDS = ("interp", "pycompiled")
+
 
 class CompiledThread:
+    """Legacy view of one thread's compiled graph (the SystemVerilog
+    backend and the synthesis cost model consume this shape)."""
+
     def __init__(self, graph: EventGraph, root: int, anchor: int, kind: str,
                  cond_exprs: Dict[int, rx.RExpr]):
         self.graph = graph
@@ -55,47 +76,23 @@ class CompiledThread:
 
 
 class CompiledProcess:
-    """A type-check-free compilation artifact: graphs ready to execute."""
+    """A type-check-free compilation artifact: the FSM plan, ready to
+    execute, plus the per-thread graph view other backends consume."""
 
-    def __init__(self, process: Process):
+    def __init__(self, process: Process, plan: ProcessPlan):
         self.process = process
-        self.threads: List[CompiledThread] = []
-        self.optimize_stats = []
-
-
-def _collect_cond_exprs(result: BuildResult) -> Dict[int, rx.RExpr]:
-    """Map each branch condition id to the *slot* its latch writes.
-
-    The latched slot is combinationally visible in the cycle of the latch
-    (slot overlay / bypass wire), so referencing the slot is exact and --
-    unlike re-resolving by event position -- survives optimizer merges
-    that put several condition latches on one event."""
-    out: Dict[int, rx.RExpr] = {}
-    for ev in result.graph.events:
-        for act in ev.actions:
-            if isinstance(act, LatchAction) and act.cond_id >= 0:
-                out[act.cond_id] = rx.RSlot(act.slot, 1, f"c{act.cond_id}")
-    return out
+        self.plan = plan
+        self.optimize_stats = plan.optimize_stats
+        self.threads: List[CompiledThread] = [
+            CompiledThread(tp.graph, 0, tp.anchor, tp.kind, tp.cond_exprs)
+            for tp in plan.threads
+        ]
 
 
 def compile_process(process: Process, do_optimize: bool = True
                     ) -> CompiledProcess:
-    """Compile each thread to a single-iteration event graph + anchor."""
-    cp = CompiledProcess(process)
-    for thread in process.threads:
-        result = GraphBuilder(process, thread).build(iterations=1)
-        graph, anchor = result.graph, result.anchor
-        if do_optimize:
-            graph, mapping, stats = optimize(graph)
-            anchor = mapping.get(anchor, anchor)
-            cp.optimize_stats.append(stats)
-        # cond exprs must be collected against the *final* graph
-        tmp = BuildResult(graph, 0, anchor, thread)
-        cond_exprs = _collect_cond_exprs(tmp)
-        cp.threads.append(
-            CompiledThread(graph, 0, anchor, thread.kind, cond_exprs)
-        )
-    return cp
+    """Compile each thread to a single-iteration event graph + plan."""
+    return CompiledProcess(process, build_process_plan(process, do_optimize))
 
 
 class MessagePort:
@@ -150,21 +147,36 @@ class Activation:
         self.spawned = False
         self.retired = False
         # (cycle, fired_now, dead_now, overlay) from the last settled
-        # eval_comb; consumed by tick() so the clock edge does not
+        # fire pass; consumed by tick() so the clock edge does not
         # recompute the fire set the settle phase already produced
         self.cache: Optional[Tuple] = None
 
 
 class AnvilProcessModule(Module):
-    """Run-time instance of a compiled process."""
+    """Run-time instance of a compiled process.
+
+    ``backend`` selects how the per-thread fire (settle pass) and commit
+    (clock edge) steps execute: ``"interp"`` walks the plan with the
+    reference interpreter; ``"pycompiled"`` calls the generated-Python
+    functions from :mod:`repro.codegen.pysim`.  Everything else --
+    activation bookkeeping, spawning, deduplication, retirement -- is
+    shared, so the two backends are observationally identical.
+    """
 
     MAX_ACTIVATIONS = 64
     MAX_SPAWNS_PER_CYCLE = 16
 
-    def __init__(self, compiled: CompiledProcess, name: str = ""):
+    def __init__(self, compiled: CompiledProcess, name: str = "",
+                 backend: str = "interp"):
         super().__init__(name or compiled.process.name)
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (use 'interp' or 'pycompiled')"
+            )
         self.compiled = compiled
+        self.plan: ProcessPlan = compiled.plan
         self.process = compiled.process
+        self.backend = backend
         self.regs: Dict[str, int] = {
             r.name: r.init for r in self.process.registers.values()
         }
@@ -175,15 +187,29 @@ class AnvilProcessModule(Module):
         self.debug_log: List[Tuple[int, str, Optional[int]]] = []
         self.print_debug = False
         self._threads_rt: List[List[Activation]] = [
-            [] for _ in compiled.threads
+            [] for _ in self.plan.threads
         ]
         self._tentative: List[List[Activation]] = [
-            [] for _ in compiled.threads
+            [] for _ in self.plan.threads
         ]
         self._reg_writes: List[Tuple[str, int]] = []
         self._started = False
-        self._sender_memo: Dict[Tuple[str, str], bool] = {}
+        # flat port-wire table: [data, valid, ack] per plan port, filled
+        # by bind_endpoint (None until the endpoint is wired)
+        self._pw: List[Optional[Wire]] = [None] * (3 * len(self.plan.ports))
+        self._ready_wires: Dict[Tuple[str, str], Wire] = {}
         self._release_wires: List[Wire] = []   # handshake outputs to drop
+        if backend == "pycompiled":
+            from .pysim import backend_for
+
+            be = backend_for(self.plan)
+            self._fire = [partial(f, self) for f in be.fire]
+            self._commit = [partial(c, self) for c in be.commit]
+        else:
+            self._fire = [partial(self._interp_fire, tp)
+                          for tp in self.plan.threads]
+            self._commit = [partial(self._interp_commit, tp)
+                            for tp in self.plan.threads]
 
     # -- wiring -----------------------------------------------------------
     def bind_endpoint(self, endpoint: str, side: Side,
@@ -194,100 +220,93 @@ class AnvilProcessModule(Module):
             self.adopt(p.data)
             self.adopt(p.valid)
             self.adopt(p.ack)
-            self._release_wires.append(
-                p.valid if self._is_sender(endpoint, m) else p.ack
+        for pp in self.plan.ports:
+            if pp.endpoint != endpoint:
+                continue
+            port = ports[pp.message]
+            base = 3 * pp.index
+            self._pw[base] = port.data
+            self._pw[base + 1] = port.valid
+            self._pw[base + 2] = port.ack
+            self._ready_wires[pp.key] = (
+                port.ack if pp.is_sender else port.valid
             )
+            if pp.drives:
+                self._release_wires.append(
+                    port.valid if pp.is_sender else port.ack
+                )
 
-    def _is_sender(self, endpoint: str, message: str) -> bool:
-        key = (endpoint, message)
-        hit = self._sender_memo.get(key)
-        if hit is None:
-            ep = self.process.get_endpoint(endpoint)
-            hit = ep.sends(message)
-            self._sender_memo[key] = hit
-        return hit
+    def _ready(self, endpoint: str, message: str) -> int:
+        return self._ready_wires[(endpoint, message)].value
 
     # -- scheduler registration --------------------------------------------
     # The compiled FSM's combinational block is exactly its handshake
-    # logic: as a sender it drives valid/data and reacts to the ack, as a
-    # receiver it drives the ack and reacts to valid/data.  Registers,
-    # slots and activation state only change at the clock edge, so they
-    # need no sensitivity edges.  Declaring this lets the levelized
-    # scheduler wire compiled processes into a precise dependency graph
-    # instead of the conservative all-wires default.
+    # logic, and the plan's port table records precisely which messages
+    # the process synchronizes on or observes: as a sender it drives
+    # valid/data and reacts to the ack, as a receiver it drives the ack
+    # and reacts to valid/data, and a readiness query reads the
+    # counterpart's handshake bit.  Registers, slots and activation
+    # state only change at the clock edge, so they need no sensitivity
+    # edges.  Wires of messages the process is bound to but never uses
+    # appear in neither set -- the levelized scheduler gets the exact
+    # dependency surface of the generated hardware.
+    _ROLE = {"data": 0, "valid": 1, "ack": 2}
+
     def comb_inputs(self):
         ins = []
-        for ep, msgs in self.ports.items():
-            for m, port in msgs.items():
-                if self._is_sender(ep, m):
-                    ins.append(port.ack)
-                else:
-                    ins.append(port.valid)
-                    ins.append(port.data)
+        for pp in self.plan.ports:
+            base = 3 * pp.index
+            for role in port_reads(pp):
+                w = self._pw[base + self._ROLE[role]]
+                if w is not None:
+                    ins.append(w)
         return ins
 
     def comb_outputs(self):
         outs = []
-        for ep, msgs in self.ports.items():
-            for m, port in msgs.items():
-                if self._is_sender(ep, m):
-                    outs.append(port.valid)
-                    outs.append(port.data)
-                else:
-                    outs.append(port.ack)
+        for pp in self.plan.ports:
+            base = 3 * pp.index
+            for role in port_writes(pp):
+                w = self._pw[base + self._ROLE[role]]
+                if w is not None:
+                    outs.append(w)
         return outs
-
-    # -- expression environment ---------------------------------------------
-    def _env(self, act: Activation, overlay: Optional[Dict[int, int]] = None
-             ) -> rx.REnv:
-        def ready_fn(endpoint, message):
-            port = self.ports[endpoint][message]
-            if self._is_sender(endpoint, message):
-                return port.ack.value
-            return port.valid.value
-
-        slots = act.slots if overlay is None else _SlotView(act.slots, overlay)
-        return rx.REnv(self.regs, slots, ready_fn)
 
     # -- combinational phase ---------------------------------------------
     def eval_comb(self):
         if not self._started:
-            for ti in range(len(self.compiled.threads)):
+            for ti in range(len(self.plan.threads)):
                 if not self._threads_rt[ti]:
                     self._threads_rt[ti].append(Activation(0))
             self._started = True
         # release our handshake outputs, then re-drive below
         for w in self._release_wires:
             w.value = 0
-        for ti, cthread in enumerate(self.compiled.threads):
+        for ti, tp in enumerate(self.plan.threads):
             self._tentative[ti] = []
             acts = [a for a in self._threads_rt[ti] if not a.retired]
-            self._eval_thread(cthread, acts, self._tentative[ti])
+            self._eval_thread(ti, tp, acts, self._tentative[ti])
 
-    def _eval_thread(self, cthread: CompiledThread, acts: List[Activation],
+    def _eval_thread(self, ti: int, tp: ThreadPlan, acts: List[Activation],
                      tentative: List[Activation]):
-        g = cthread.graph
+        fire = self._fire[ti]
         queue = list(acts)
         spawns = 0
         busy_messages: set = set()
+        anchor = tp.anchor
         idx = 0
         while idx < len(queue):
             act = queue[idx]
             idx += 1
-            fired_now, dead_now, overlay = self._fire_set(
-                cthread, act, busy_messages
-            )
+            fired_now, dead_now, overlay = fire(act, busy_messages)
             act.cache = (self.cycle, fired_now, dead_now, overlay)
-            anchor_fires = (
-                cthread.anchor in fired_now
-                or cthread.anchor in act.fired
-            )
+            anchor_fires = anchor in fired_now or anchor in act.fired
             if anchor_fires and not act.spawned:
                 spawns += 1
                 if spawns > self.MAX_SPAWNS_PER_CYCLE:
                     raise SimulationError(
                         f"{self.name}: zero-delay loop detected (thread "
-                        f"anchored at e{cthread.anchor})"
+                        f"anchored at e{anchor})"
                     )
                 if len(queue) >= self.MAX_ACTIVATIONS:
                     raise SimulationError(
@@ -297,79 +316,85 @@ class AnvilProcessModule(Module):
                 tentative.append(child)
                 queue.append(child)
 
-    def _fire_set(self, cthread: CompiledThread, act: Activation,
-                  busy_messages: set):
+    # -- the reference interpreter ----------------------------------------
+    def _apply_latches(self, latches, overlay, env):
+        pw = self._pw
+        for latch in latches:
+            t = type(latch)
+            if t is LatchRecv:
+                overlay[latch.target] = pw[3 * latch.port].value
+            elif t is LatchFlag:
+                base = 3 * latch.port
+                overlay[latch.target] = (
+                    1 if (pw[base + 1].value and pw[base + 2].value) else 0
+                )
+            else:   # LatchExpr
+                overlay[latch.slot] = latch.source.eval(env)
+
+    def _interp_fire(self, tp: ThreadPlan, act: Activation, busy: set):
         """Compute events firing *this* cycle for one activation and drive
         handshake wires for active syncs.  Pure function of settled state;
         re-run every settle iteration (permanent state only commits at the
         clock edge)."""
-        g = cthread.graph
         now = self.cycle
         fired_now: Dict[int, int] = {}
         dead_now: set = set()
         overlay: Dict[int, int] = {}
-        env = self._env(act, overlay)
-        act_fired = act.fired
-        act_dead = act.dead
-        fired_get = act_fired.get
-        now_get = fired_now.get
+        env = rx.REnv(self.regs, _SlotView(act.slots, overlay), self._ready)
+        af = act.fired
+        ad = act.dead
+        af_get = af.get
+        fn_get = fired_now.get
+        pw = self._pw
+        start = act.start
 
-        def latch_into_overlay(ev):
-            for action in ev.actions:
-                if isinstance(action, RecvBindAction):
-                    port = self.ports[action.endpoint][action.message]
-                    overlay[action.target] = port.data.value
-                elif isinstance(action, SyncFlagAction):
-                    port = self.ports[action.endpoint][action.message]
-                    overlay[action.target] = int(port.fires)
-                elif isinstance(action, LatchAction):
-                    overlay[action.slot] = action.source.eval(env)
-
-        for ev in g.events:
-            eid = ev.eid
-            if eid in act_fired or eid in act_dead or eid in fired_now \
+        for epl in tp.events:
+            eid = epl.eid
+            if eid in af or eid in ad or eid in fired_now \
                     or eid in dead_now:
                 continue
-            kind = ev.kind
+            kind = epl.kind
             if kind is EventKind.ROOT:
-                if act.start == now:
+                if start == now:
                     fired_now[eid] = now
-                    latch_into_overlay(ev)
+                    if epl.latches:
+                        self._apply_latches(epl.latches, overlay, env)
                 continue
-            preds = ev.preds
+            preds = epl.preds
             if kind is EventKind.JOIN_ANY:
                 ready = False
                 alive = False
                 for p in preds:
-                    c = fired_get(p)
+                    c = af_get(p)
                     if c is None:
-                        c = now_get(p)
+                        c = fn_get(p)
                     if c is not None:
                         ready = alive = True
                         break
-                    if not (p in act_dead or p in dead_now):
+                    if not (p in ad or p in dead_now):
                         alive = True
                 if ready:
                     fired_now[eid] = now
-                    latch_into_overlay(ev)
+                    if epl.latches:
+                        self._apply_latches(epl.latches, overlay, env)
                 elif not alive:
                     dead_now.add(eid)
                 continue
             # all other kinds require every predecessor
             dead = False
             for p in preds:
-                if p in act_dead or p in dead_now:
+                if p in ad or p in dead_now:
                     dead = True
                     break
             if dead:
                 dead_now.add(eid)
                 continue
-            base = act.start
+            base = start
             blocked = False
             for p in preds:
-                c = fired_get(p)
+                c = af_get(p)
                 if c is None:
-                    c = now_get(p)
+                    c = fn_get(p)
                     if c is None:
                         blocked = True
                         break
@@ -378,56 +403,101 @@ class AnvilProcessModule(Module):
             if blocked:
                 continue
             if kind is EventKind.DELAY:
-                if base + ev.delay == now:
-                    fired_now[ev.eid] = now
-                    latch_into_overlay(ev)
+                if base + epl.delay == now:
+                    fired_now[eid] = now
+                    if epl.latches:
+                        self._apply_latches(epl.latches, overlay, env)
                 continue
             if kind is EventKind.JOIN_ALL:
-                fired_now[ev.eid] = now
-                latch_into_overlay(ev)
+                fired_now[eid] = now
+                if epl.latches:
+                    self._apply_latches(epl.latches, overlay, env)
                 continue
             if kind is EventKind.BRANCH:
-                expr = cthread.cond_exprs.get(ev.cond_id)
+                expr = epl.cond_expr
                 cond = expr.eval(env) & 1 if expr is not None else 0
-                if bool(cond) == ev.polarity:
-                    fired_now[ev.eid] = now
-                    latch_into_overlay(ev)
+                if bool(cond) == epl.polarity:
+                    fired_now[eid] = now
+                    if epl.latches:
+                        self._apply_latches(epl.latches, overlay, env)
                 else:
-                    dead_now.add(ev.eid)
+                    dead_now.add(eid)
                 continue
-            if kind is EventKind.SYNC:
-                key = (ev.endpoint, ev.message)
-                if key in busy_messages:
-                    continue  # an older activation owns the handshake
-                busy_messages.add(key)
-                port = self.ports[ev.endpoint][ev.message]
-                guard = 1
-                for action in ev.actions:
-                    if isinstance(action, SyncGuardAction):
-                        guard = action.source.eval(env) & 1
-                if ev.direction is SyncDir.SEND:
-                    payload = 0
-                    for action in ev.actions:
-                        if isinstance(action, SendDataAction):
-                            payload = action.source.eval(env)
-                    if guard:
-                        port.valid.set(1)
-                        port.data.set(payload)
-                else:
-                    if guard:
-                        port.ack.set(1)
-                if ev.conditional or port.fires:
-                    fired_now[ev.eid] = now
-                    latch_into_overlay(ev)
-                continue
+            # SYNC
+            key = epl.sync_key
+            if key in busy:
+                continue  # an older activation owns the handshake
+            busy.add(key)
+            base3 = 3 * epl.port
+            guard = 1 if epl.guard is None else epl.guard.eval(env) & 1
+            if epl.direction is SyncDir.SEND:
+                if guard:
+                    pw[base3 + 1].value = 1
+                    dw = pw[base3]
+                    payload = (
+                        epl.payload.eval(env)
+                        if epl.payload is not None else 0
+                    )
+                    dw.value = payload & dw.mask
+            else:
+                if guard:
+                    pw[base3 + 2].value = 1
+            if epl.conditional or (pw[base3 + 1].value
+                                   and pw[base3 + 2].value):
+                fired_now[eid] = now
+                if epl.latches:
+                    self._apply_latches(epl.latches, overlay, env)
         return fired_now, dead_now, overlay
+
+    def _interp_commit(self, tp: ThreadPlan, act: Activation,
+                       fired_now: Dict[int, int], overlay: Dict[int, int]):
+        act.fired.update(fired_now)
+        if not fired_now:
+            return
+        env = rx.REnv(self.regs, _SlotView(act.slots, overlay), self._ready)
+        now = self.cycle
+        pw = self._pw
+        slots = act.slots
+        events = tp.events
+        for eid in fired_now:
+            for c in events[eid].commits:
+                t = type(c)
+                if t is CommitReg:
+                    self._reg_writes.append((c.reg, c.source.eval(env)))
+                elif t is CommitRecv:
+                    slots[c.target] = overlay.get(
+                        c.target, pw[3 * c.port].value
+                    )
+                elif t is CommitFlag:
+                    base = 3 * c.port
+                    slots[c.target] = overlay.get(
+                        c.target,
+                        1 if (pw[base + 1].value and pw[base + 2].value)
+                        else 0,
+                    )
+                elif t is CommitExpr:
+                    slots[c.slot] = overlay.get(
+                        c.slot, c.source.eval(env)
+                    )
+                else:   # CommitPrint
+                    value = (
+                        c.source.eval(env)
+                        if c.source is not None else None
+                    )
+                    self.debug_log.append((now, c.fmt, value))
+                    if self.print_debug:
+                        suffix = "" if value is None else f" {value:#x}"
+                        print(f"[{now}] {self.name}: {c.fmt}{suffix}")
 
     # -- clock edge ---------------------------------------------------------
     def tick(self):
-        for ti, cthread in enumerate(self.compiled.threads):
+        for ti, tp in enumerate(self.plan.threads):
             acts = self._threads_rt[ti]
             acts.extend(self._tentative[ti])
             self._tentative[ti] = []
+            fire = self._fire[ti]
+            commit = self._commit[ti]
+            n_events = tp.n_events
             busy: set = set()
             for act in acts:
                 if act.retired:
@@ -439,21 +509,12 @@ class AnvilProcessModule(Module):
                     # fire set on the settled wires; reuse it
                     _cyc, fired_now, dead_now, overlay = cache
                 else:
-                    fired_now, dead_now, overlay = self._fire_set(
-                        cthread, act, busy
-                    )
+                    fired_now, dead_now, overlay = fire(act, busy)
                 act.dead.update(dead_now)
-                env = self._env(act, overlay)
-                for eid, cyc in fired_now.items():
-                    act.fired[eid] = cyc
-                    self._commit_actions(cthread, act, eid, env, overlay)
-                if cthread.anchor in fired_now:
+                commit(act, fired_now, overlay)
+                if tp.anchor in fired_now:
                     act.spawned = True
-                g = cthread.graph
-                if all(
-                    e.eid in act.fired or e.eid in act.dead
-                    for e in g.events
-                ):
+                if len(act.fired) + len(act.dead) == n_events:
                     act.retired = True
             live = [a for a in acts if not a.retired]
             if len(live) < 2:
@@ -467,13 +528,11 @@ class AnvilProcessModule(Module):
             deduped = []
             for a in live:
                 dues = []
-                for ev in cthread.graph.events:
-                    if ev.kind is EventKind.DELAY and \
-                            ev.eid not in a.fired and \
-                            ev.eid not in a.dead and ev.preds and \
-                            all(p in a.fired for p in ev.preds):
-                        base = max(a.fired[p] for p in ev.preds)
-                        dues.append((ev.eid, base + ev.delay - self.cycle))
+                for eid, preds, delay in tp.delays:
+                    if eid not in a.fired and eid not in a.dead and preds \
+                            and all(p in a.fired for p in preds):
+                        base = max(a.fired[p] for p in preds)
+                        dues.append((eid, base + delay - self.cycle))
                 key = (
                     frozenset(a.fired),
                     frozenset(a.dead),
@@ -492,44 +551,12 @@ class AnvilProcessModule(Module):
         self._reg_writes = []
         self.cycle += 1
 
-    def _commit_actions(self, cthread: CompiledThread, act: Activation,
-                        eid: int, env, overlay):
-        for action in cthread.graph[eid].actions:
-            if isinstance(action, RegWriteAction):
-                self._reg_writes.append(
-                    (action.reg, action.source.eval(env))
-                )
-            elif isinstance(action, RecvBindAction):
-                port = self.ports[action.endpoint][action.message]
-                act.slots[action.target] = overlay.get(
-                    action.target, port.data.value
-                )
-            elif isinstance(action, SyncFlagAction):
-                port = self.ports[action.endpoint][action.message]
-                act.slots[action.target] = overlay.get(
-                    action.target, int(port.fires)
-                )
-            elif isinstance(action, LatchAction):
-                act.slots[action.slot] = overlay.get(
-                    action.slot, action.source.eval(env)
-                )
-            elif isinstance(action, DebugPrintAction):
-                value = (
-                    action.source.eval(env)
-                    if action.source is not None else None
-                )
-                self.debug_log.append((self.cycle, action.fmt, value))
-                if self.print_debug:
-                    suffix = "" if value is None else f" {value:#x}"
-                    print(f"[{self.cycle}] {self.name}: {action.fmt}{suffix}")
-            # SendDataAction handled combinationally
-
     def reset(self):
         self.regs = {
             r.name: r.init for r in self.process.registers.values()
         }
-        self._threads_rt = [[] for _ in self.compiled.threads]
-        self._tentative = [[] for _ in self.compiled.threads]
+        self._threads_rt = [[] for _ in self.plan.threads]
+        self._tentative = [[] for _ in self.plan.threads]
         self._reg_writes = []
         self.cycle = 0
         self._started = False
@@ -626,9 +653,11 @@ class ExternalEndpoint(Module):
 class SimulatedSystem:
     """A :class:`~repro.lang.process.System` elaborated onto the simulator."""
 
-    def __init__(self, system: System, sim, modules, externals):
+    def __init__(self, system: System, sim, modules, externals,
+                 backend: str = "interp"):
         self.system = system
         self.sim = sim
+        self.backend = backend
         self.modules: Dict[str, AnvilProcessModule] = modules
         self.externals: Dict[int, ExternalEndpoint] = externals
 
@@ -640,10 +669,14 @@ class SimulatedSystem:
         return self.externals[cid]
 
 
-def build_simulation(system: System, sim=None,
-                     do_optimize: bool = True) -> SimulatedSystem:
+def build_simulation(system: System, sim=None, do_optimize: bool = True,
+                     backend: str = "interp") -> SimulatedSystem:
     """Elaborate a system: compile every process, create channel wires and
-    external drivers for exposed endpoints."""
+    external drivers for exposed endpoints.
+
+    ``backend`` selects the execution backend of every compiled process
+    module (``"interp"`` or ``"pycompiled"``); both are observationally
+    identical."""
     from ..rtl.simulator import Simulator
 
     sim = sim or Simulator(system.name)
@@ -655,7 +688,7 @@ def build_simulation(system: System, sim=None,
                 inst.process, do_optimize
             )
         modules[inst.name] = AnvilProcessModule(
-            compiled[inst.process.name], inst.name
+            compiled[inst.process.name], inst.name, backend=backend
         )
     externals: Dict[int, ExternalEndpoint] = {}
     for chan in system.channels:
@@ -679,4 +712,4 @@ def build_simulation(system: System, sim=None,
         sim.add(m)
     for e in externals.values():
         sim.add(e)
-    return SimulatedSystem(system, sim, modules, externals)
+    return SimulatedSystem(system, sim, modules, externals, backend=backend)

@@ -11,14 +11,22 @@ from .figures import (
     figure8,
     generate_figures,
 )
-from .scenarios import SCENARIOS, build_scenario, build_sweep
+from .scenarios import (
+    ANVIL_SCENARIOS,
+    SCENARIOS,
+    build_anvil_scenario,
+    build_anvil_sweep,
+    build_scenario,
+    build_sweep,
+)
 from .table1 import Table1Row, format_table1, generate_table1
 from .table2 import generate_table2, stream_fifo_safety
 
 __all__ = [
     "appendix_a", "figure1", "figure2_anvil", "figure2_bsv", "figure4",
     "figure5", "figure6", "figure8", "generate_figures",
-    "SCENARIOS", "build_scenario", "build_sweep",
+    "ANVIL_SCENARIOS", "SCENARIOS", "build_anvil_scenario",
+    "build_anvil_sweep", "build_scenario", "build_sweep",
     "Table1Row", "format_table1",
     "generate_table1", "generate_table2", "stream_fifo_safety",
 ]

@@ -202,7 +202,8 @@ def figure2_anvil() -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 # Figure 4
 # ---------------------------------------------------------------------------
-def figure4(addresses=None, cycles: int = 200) -> Dict[str, object]:
+def figure4(addresses=None, cycles: int = 200,
+            backend: str = "interp") -> Dict[str, object]:
     """Static vs dynamic contract on the cached memory."""
     from ..anvil_designs.memory import (
         cached_memory_process,
@@ -214,7 +215,7 @@ def figure4(addresses=None, cycles: int = 200) -> Dict[str, object]:
         sys_ = System()
         inst = sys_.add(factory())
         ch = sys_.expose(inst, "host")
-        ss = build_simulation(sys_)
+        ss = build_simulation(sys_, backend=backend)
         ext = ss.external(ch)
         ext.always_receive("res")
         for a in addresses:
@@ -342,10 +343,13 @@ def figure6() -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 # Figure 8
 # ---------------------------------------------------------------------------
-def generate_figures(parallel=None) -> Dict[str, object]:
+def generate_figures(parallel=None,
+                     backend: str = "interp") -> Dict[str, object]:
     """Every figure harness as one batch sweep (each figure builds its
     own simulators/processes, so the jobs are independent; thread-based,
-    see :mod:`repro.rtl.batch` for the GIL caveat)."""
+    see :mod:`repro.rtl.batch` for the GIL caveat).  ``backend`` selects
+    the FSM execution backend wherever a figure simulates a compiled
+    process (figure 4)."""
     from ..rtl.batch import run_batch
 
     return run_batch(
@@ -353,7 +357,7 @@ def generate_figures(parallel=None) -> Dict[str, object]:
             ("figure1", figure1),
             ("figure2_bsv", figure2_bsv),
             ("figure2_anvil", figure2_anvil),
-            ("figure4", figure4),
+            ("figure4", lambda: figure4(backend=backend)),
             ("figure5", figure5),
             ("figure6", figure6),
             ("figure8", figure8),

@@ -12,8 +12,17 @@ stimulus.  The same builder serves three purposes:
   between the two engines on them;
 * :class:`~repro.rtl.batch.BatchSimulator` sweeps run them concurrently.
 
-Builders are deterministic in ``seed`` and never consult the engine, so
-two sims built with different engines see identical stimulus.
+A second, *Anvil-only* scenario set (``ANVIL_SCENARIOS`` /
+:func:`build_anvil_scenario` / :func:`build_anvil_sweep`) elaborates
+just the compiled Anvil twins of each family under randomized stimulus.
+These are the workloads on which the FSM execution *backend* matters:
+``benchmarks/bench_simulator.py`` measures the generated-Python backend
+(``backend="pycompiled"``) against the plan interpreter on them, and
+``tests/test_pysim.py`` pins backend equivalence over them.
+
+Builders are deterministic in ``seed`` and never consult the engine or
+backend, so two sims built with different engine/backend combinations
+see identical stimulus.
 """
 
 from __future__ import annotations
@@ -50,12 +59,16 @@ def _pattern(rng: random.Random, p: float, length: int = 509):
 
 
 def _attach_anvil(sim: Simulator, process, stimuli: Dict[str, dict],
-                  stim: int, rng: random.Random):
-    """Elaborate one Anvil process into ``sim`` with external drivers."""
+                  stim: int, rng: random.Random, backend: str = "interp"):
+    """Elaborate one Anvil process into ``sim`` with external drivers.
+
+    Every received message's data/valid wires are watched, so engine and
+    backend equivalence checks compare real compiled-FSM waveforms, not
+    just aggregate toggle counts."""
     sys_ = System()
     inst = sys_.add(process)
     chans = {ep: sys_.expose(inst, ep) for ep in list(inst.process.endpoints)}
-    ss = build_simulation(sys_, sim=sim)
+    ss = build_simulation(sys_, sim=sim, backend=backend)
     for ep, spec in stimuli.items():
         ext = ss.external(chans[ep])
         for msg, maker in spec.get("send", {}).items():
@@ -63,6 +76,10 @@ def _attach_anvil(sim: Simulator, process, stimuli: Dict[str, dict],
                 ext.send(msg, maker(rng))
         for msg in spec.get("recv", ()):
             ext.always_receive(msg)
+            port = ext.ports[msg]
+            label = f"{sim.name}.{process.name}.{ep}.{msg}"
+            sim.watch(port.data, f"{label}.data")
+            sim.watch(port.valid, f"{label}.valid")
     return ss
 
 
@@ -70,8 +87,8 @@ def _attach_anvil(sim: Simulator, process, stimuli: Dict[str, dict],
 # the six design families
 # ---------------------------------------------------------------------------
 def scenario_streams(engine: str = "levelized", seed: int = 0,
-                     stim: int = DEFAULT_STIM,
-                     sim: Simulator = None) -> Simulator:
+                     stim: int = DEFAULT_STIM, sim: Simulator = None,
+                     backend: str = "interp") -> Simulator:
     """Baseline stream chain (fifo -> spill -> passthrough fifo) plus the
     Anvil spill register."""
     from ..anvil_designs.streams import spill_register
@@ -100,14 +117,14 @@ def scenario_streams(engine: str = "levelized", seed: int = 0,
         sim, spill_register(),
         {"inp": {"send": {"data": lambda r: r.randrange(256)}},
          "out": {"recv": ["data"]}},
-        stim, rng,
+        stim, rng, backend=backend,
     )
     return sim
 
 
 def scenario_memory(engine: str = "levelized", seed: int = 0,
-                    stim: int = DEFAULT_STIM,
-                    sim: Simulator = None) -> Simulator:
+                    stim: int = DEFAULT_STIM, sim: Simulator = None,
+                    backend: str = "interp") -> Simulator:
     """Handshake memory and cached memory under random request streams,
     plus the Anvil fixed-latency memory."""
     from ..anvil_designs.memory import memory_process
@@ -132,14 +149,14 @@ def scenario_memory(engine: str = "levelized", seed: int = 0,
         sim, memory_process(latency=2),
         {"host": {"send": {"req": lambda r: r.randrange(256)},
                   "recv": ["res"]}},
-        stim, rng,
+        stim, rng, backend=backend,
     )
     return sim
 
 
 def scenario_aes(engine: str = "levelized", seed: int = 0,
-                 stim: int = DEFAULT_STIM,
-                 sim: Simulator = None) -> Simulator:
+                 stim: int = DEFAULT_STIM, sim: Simulator = None,
+                 backend: str = "interp") -> Simulator:
     """The AES core under a random mix of 128/256-bit encrypts and
     decrypts."""
     sim = sim or Simulator("aes", engine=engine)
@@ -162,8 +179,8 @@ def scenario_aes(engine: str = "levelized", seed: int = 0,
 
 
 def scenario_axi(engine: str = "levelized", seed: int = 0,
-                 stim: int = DEFAULT_STIM,
-                 sim: Simulator = None) -> Simulator:
+                 stim: int = DEFAULT_STIM, sim: Simulator = None,
+                 backend: str = "interp") -> Simulator:
     """AXI-Lite demux (1 master -> 4 slaves) and mux (4 masters -> 1
     slave) under random read/write traffic, plus the Anvil demux."""
     from ..anvil_designs.axi import axi_demux
@@ -203,14 +220,14 @@ def scenario_axi(engine: str = "levelized", seed: int = 0,
                         "w": lambda r: r.randrange(1 << 16)},
                "recv": ["b", "r"]},
          **{f"s{i}": {"recv": ["aw", "w", "ar"]} for i in range(4)}},
-        stim // 8, rng,
+        stim // 8, rng, backend=backend,
     )
     return sim
 
 
 def scenario_mmu(engine: str = "levelized", seed: int = 0,
-                 stim: int = DEFAULT_STIM,
-                 sim: Simulator = None) -> Simulator:
+                 stim: int = DEFAULT_STIM, sim: Simulator = None,
+                 backend: str = "interp") -> Simulator:
     """TLB + page-table walker + backing memory walking a real page
     table under a random (hit-heavy) VPN stream."""
     sim = sim or Simulator("mmu", engine=engine)
@@ -235,8 +252,8 @@ def scenario_mmu(engine: str = "levelized", seed: int = 0,
 
 
 def scenario_pipeline(engine: str = "levelized", seed: int = 0,
-                      stim: int = DEFAULT_STIM,
-                      sim: Simulator = None) -> Simulator:
+                      stim: int = DEFAULT_STIM, sim: Simulator = None,
+                      backend: str = "interp") -> Simulator:
     """Statically pipelined ALU and systolic array at full throughput,
     plus the Anvil pipelined ALU (II=1: traffic every cycle)."""
     from ..anvil_designs.pipeline import pipelined_alu
@@ -263,7 +280,7 @@ def scenario_pipeline(engine: str = "levelized", seed: int = 0,
         {"inp": {"send": {"data": lambda r: alu_pack(
             r.randrange(8), r.randrange(1 << 16), r.randrange(1 << 16))}},
          "out": {"recv": ["data"]}},
-        stim, rng,
+        stim, rng, backend=backend,
     )
     return sim
 
@@ -279,16 +296,213 @@ SCENARIOS: Dict[str, Callable[..., Simulator]] = {
 
 
 def build_scenario(name: str, engine: str = "levelized", seed: int = 0,
-                   stim: int = DEFAULT_STIM) -> Simulator:
-    return SCENARIOS[name](engine=engine, seed=seed, stim=stim)
+                   stim: int = DEFAULT_STIM,
+                   backend: str = "interp") -> Simulator:
+    return SCENARIOS[name](engine=engine, seed=seed, stim=stim,
+                           backend=backend)
 
 
 def build_sweep(engine: str = "levelized", seed: int = 0,
-                stim: int = DEFAULT_STIM) -> Simulator:
+                stim: int = DEFAULT_STIM,
+                backend: str = "interp") -> Simulator:
     """All six families elaborated into one simulator -- the 'design
     sweep' shape the harness tables run, and the regime where the seed's
     global fixpoint loop hurts most."""
     sim = Simulator("sweep", engine=engine)
     for name, builder in SCENARIOS.items():
-        builder(engine=engine, seed=seed, stim=stim, sim=sim)
+        builder(engine=engine, seed=seed, stim=stim, sim=sim,
+                backend=backend)
+    return sim
+
+
+# ---------------------------------------------------------------------------
+# the Anvil-only scenarios: compiled processes, no baseline RTL
+# ---------------------------------------------------------------------------
+def anvil_streams(engine: str = "levelized", seed: int = 0,
+                  stim: int = DEFAULT_STIM, sim: Simulator = None,
+                  backend: str = "interp") -> Simulator:
+    """All three compiled stream cells under random traffic with bursty
+    consumers."""
+    from ..anvil_designs.streams import (
+        fifo_buffer,
+        passthrough_stream_fifo,
+        spill_register,
+    )
+
+    sim = sim or Simulator("anvil_streams", engine=engine)
+    rng = random.Random(seed)
+    stimuli = {"inp": {"send": {"data": lambda r: r.randrange(256)}},
+               "out": {"recv": ["data"]}}
+    _attach_anvil(sim, fifo_buffer(depth=4), stimuli, stim, rng,
+                  backend=backend)
+    _attach_anvil(sim, spill_register(), stimuli, stim, rng,
+                  backend=backend)
+    _attach_anvil(sim, passthrough_stream_fifo(), stimuli, stim, rng,
+                  backend=backend)
+    return sim
+
+
+def anvil_memory(engine: str = "levelized", seed: int = 0,
+                 stim: int = DEFAULT_STIM, sim: Simulator = None,
+                 backend: str = "interp") -> Simulator:
+    """Fixed-latency and cached compiled memories under random requests
+    (the cached one exercises branches: hit and miss paths)."""
+    from ..anvil_designs.memory import cached_memory_process, memory_process
+
+    sim = sim or Simulator("anvil_memory", engine=engine)
+    rng = random.Random(seed)
+    _attach_anvil(
+        sim, memory_process(latency=2),
+        {"host": {"send": {"req": lambda r: r.randrange(256)},
+                  "recv": ["res"]}},
+        stim, rng, backend=backend,
+    )
+    _attach_anvil(
+        sim, cached_memory_process(lines=4),
+        {"host": {"send": {"req": lambda r: r.randrange(32)},
+                  "recv": ["res"]}},
+        stim, rng, backend=backend,
+    )
+    return sim
+
+
+def anvil_aes(engine: str = "levelized", seed: int = 0,
+              stim: int = DEFAULT_STIM, sim: Simulator = None,
+              backend: str = "interp") -> Simulator:
+    """The compiled AES core -- by far the largest event graph (the
+    14-round key schedule and round functions are fully unrolled), the
+    workload where per-event interpretation hurts most."""
+    from ..anvil_designs.aes import aes_core
+    from ..designs.aes import OP_DECRYPT, OP_ENCRYPT, aes_pack
+
+    sim = sim or Simulator("anvil_aes", engine=engine)
+    rng = random.Random(seed)
+    jobs = max(stim // 16, 64)
+    _attach_anvil(
+        sim, aes_core(),
+        {"host": {"send": {"req": lambda r: aes_pack(
+            r.choice((OP_ENCRYPT, OP_DECRYPT)), r.getrandbits(128),
+            r.getrandbits(256), r.choice((128, 256)))},
+            "recv": ["res"]}},
+        jobs, rng, backend=backend,
+    )
+    return sim
+
+
+def anvil_axi(engine: str = "levelized", seed: int = 0,
+              stim: int = DEFAULT_STIM, sim: Simulator = None,
+              backend: str = "interp") -> Simulator:
+    """Compiled AXI-Lite demux and mux routers under random read/write
+    transactions on every leg."""
+    from ..anvil_designs.axi import axi_demux, axi_mux
+
+    sim = sim or Simulator("anvil_axi", engine=engine)
+    rng = random.Random(seed)
+    _attach_anvil(
+        sim, axi_demux(),
+        {"m": {"send": {"aw": lambda r: r.randrange(1 << 12),
+                        "w": lambda r: r.randrange(1 << 16)},
+               "recv": ["b", "r"]},
+         **{f"s{i}": {"recv": ["aw", "w", "ar"]} for i in range(4)}},
+        stim // 4, rng, backend=backend,
+    )
+    _attach_anvil(
+        sim, axi_mux(),
+        {**{f"m{i}": {"send": {"aw": lambda r: r.randrange(1 << 12),
+                               "w": lambda r: r.randrange(1 << 16)},
+                      "recv": ["b", "r"]} for i in range(4)},
+         "s": {"recv": ["aw", "w", "ar"]}},
+        stim // 8, rng, backend=backend,
+    )
+    return sim
+
+
+def anvil_mmu(engine: str = "levelized", seed: int = 0,
+              stim: int = DEFAULT_STIM, sim: Simulator = None,
+              backend: str = "interp") -> Simulator:
+    """A *connected* compiled system: the TLB's ``ptw`` endpoint is wired
+    to the walker's ``host`` endpoint in one Anvil ``System``; only the
+    request stream and the page-table memory are external.  The walker's
+    memory responses are preloaded pseudo-PTEs, so walks vary in depth
+    deterministically."""
+    from ..anvil_designs.mmu import ptw_process, tlb_process
+    from ..designs.mmu import PTE_LEAF, PTE_VALID
+
+    sim = sim or Simulator("anvil_mmu", engine=engine)
+    rng = random.Random(seed)
+    sys_ = System()
+    tlb = sys_.add(tlb_process())
+    ptw = sys_.add(ptw_process())
+    sys_.connect(tlb, "ptw", ptw, "host")
+    host_ch = sys_.expose(tlb, "host")
+    mem_ch = sys_.expose(ptw, "mem")
+    ss = build_simulation(sys_, sim=sim, backend=backend)
+    host = ss.external(host_ch)
+    host.always_receive("res")
+    sim.watch(host.ports["res"].data, f"{sim.name}.anvil_tlb.host.res.data")
+    sim.watch(host.ports["res"].valid,
+              f"{sim.name}.anvil_tlb.host.res.valid")
+    for _ in range(stim):
+        host.send("req", rng.choice((0, 3, 6, 9, 12, 1)))
+    mem = ss.external(mem_ch)
+    mem.always_receive("req")
+    for _ in range(stim):
+        # random PTEs biased towards valid leaves so walks terminate
+        pte = rng.randrange(1 << 12) << 4
+        pte |= PTE_VALID | (PTE_LEAF if rng.random() < 0.7 else 0)
+        mem.send("res", pte)
+    return sim
+
+
+def anvil_pipeline(engine: str = "levelized", seed: int = 0,
+                   stim: int = DEFAULT_STIM, sim: Simulator = None,
+                   backend: str = "interp") -> Simulator:
+    """Compiled pipelined ALU and systolic array at full throughput
+    (II=1: every event graph iteration overlaps with its successor)."""
+    from ..anvil_designs.pipeline import pipelined_alu, systolic_array
+
+    sim = sim or Simulator("anvil_pipeline", engine=engine)
+    rng = random.Random(seed)
+    _attach_anvil(
+        sim, pipelined_alu(),
+        {"inp": {"send": {"data": lambda r: alu_pack(
+            r.randrange(8), r.randrange(1 << 16), r.randrange(1 << 16))}},
+         "out": {"recv": ["data"]}},
+        stim, rng, backend=backend,
+    )
+    _attach_anvil(
+        sim, systolic_array(),
+        {"inp": {"send": {"data": lambda r: r.randrange(1 << 16)}},
+         "out": {"recv": ["data"]}},
+        stim, rng, backend=backend,
+    )
+    return sim
+
+
+ANVIL_SCENARIOS: Dict[str, Callable[..., Simulator]] = {
+    "streams": anvil_streams,
+    "memory": anvil_memory,
+    "aes": anvil_aes,
+    "axi": anvil_axi,
+    "mmu": anvil_mmu,
+    "pipeline": anvil_pipeline,
+}
+
+
+def build_anvil_scenario(name: str, engine: str = "levelized",
+                         seed: int = 0, stim: int = DEFAULT_STIM,
+                         backend: str = "interp") -> Simulator:
+    return ANVIL_SCENARIOS[name](engine=engine, seed=seed, stim=stim,
+                                 backend=backend)
+
+
+def build_anvil_sweep(engine: str = "levelized", seed: int = 0,
+                      stim: int = DEFAULT_STIM,
+                      backend: str = "interp") -> Simulator:
+    """All six compiled families in one simulator -- the backend
+    benchmark's sweep shape."""
+    sim = Simulator("anvil_sweep", engine=engine)
+    for name, builder in ANVIL_SCENARIOS.items():
+        builder(engine=engine, seed=seed, stim=stim, sim=sim,
+                backend=backend)
     return sim

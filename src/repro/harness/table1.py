@@ -47,14 +47,15 @@ class Table1Row(NamedTuple):
         return (self.anvil_power - self.base_power) / self.base_power * 100
 
 
-def _activity(factory, endpoint_stimuli, cycles=150, **kw) -> float:
+def _activity(factory, endpoint_stimuli, cycles=150, backend="interp",
+              **kw) -> float:
     """Toggles per cycle of the compiled design under a workload."""
     sys_ = System()
     inst = sys_.add(factory(**kw))
     chans = {}
     for ep in list(inst.process.endpoints):
         chans[ep] = sys_.expose(inst, ep)
-    ss = build_simulation(sys_)
+    ss = build_simulation(sys_, backend=backend)
     for ep, stim in endpoint_stimuli.items():
         ext = ss.external(chans[ep])
         for msg, values in stim.get("send", {}).items():
@@ -164,13 +165,13 @@ def _spec_rows() -> List[dict]:
     ]
 
 
-def _row(spec: dict, fast: bool) -> Table1Row:
+def _row(spec: dict, fast: bool, backend: str = "interp") -> Table1Row:
     """One Table 1 row: cost both implementations, simulate activity."""
     base: CostReport = spec["baseline"]()
     proc = spec["factory"]()
     anv = estimate_compiled(compile_process(proc))
     port_toggles = 0.0 if fast else _activity(
-        spec["factory"], spec["stimuli"]
+        spec["factory"], spec["stimuli"], backend=backend
     )
     # port toggles seed the activity estimate; internal nodes switch
     # in proportion to the logic they feed (activity density model)
@@ -193,18 +194,21 @@ def _row(spec: dict, fast: bool) -> Table1Row:
     )
 
 
-def generate_table1(fast: bool = False,
-                    parallel=None) -> List[Table1Row]:
+def generate_table1(fast: bool = False, parallel=None,
+                    backend: str = "interp") -> List[Table1Row]:
     """Compute every row of Table 1.
 
     Rows are independent (each builds its own processes and simulators),
     so they run as one sweep on the batch runner (thread-based; see
-    :mod:`repro.rtl.batch` for the GIL caveat)."""
+    :mod:`repro.rtl.batch` for the GIL caveat).  ``backend`` selects the
+    FSM execution backend of the activity simulations; results are
+    backend-independent (the backends are observationally identical),
+    only the wall-clock changes."""
     from ..rtl.batch import run_batch
 
     specs = _spec_rows()
     results = run_batch(
-        [(spec["name"], (lambda spec=spec: _row(spec, fast)))
+        [(spec["name"], (lambda spec=spec: _row(spec, fast, backend)))
          for spec in specs],
         parallel=parallel,
     )

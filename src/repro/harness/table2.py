@@ -190,8 +190,11 @@ def case_core2axi_w_valid() -> Dict[str, object]:
     }
 
 
-def generate_table2(parallel=None) -> Dict[str, Dict[str, object]]:
-    """All five case studies; independent, so run as a batch sweep."""
+def generate_table2(parallel=None,
+                    backend: str = "interp") -> Dict[str, Dict[str, object]]:
+    """All five case studies plus the Section 7.2 stream-FIFO dynamic
+    comparison; independent, so run as a batch sweep.  ``backend``
+    selects the FSM execution backend of the dynamic case."""
     from ..rtl.batch import run_batch
 
     return run_batch(
@@ -201,16 +204,20 @@ def generate_table2(parallel=None) -> Dict[str, Dict[str, object]]:
             ("ibex", case_ibex_instr_valid),
             ("snax", case_snax_alu_handshake),
             ("core2axi", case_core2axi_w_valid),
+            ("stream_fifo", lambda: stream_fifo_safety(backend=backend)),
         ],
         parallel=parallel,
     )
 
 
-def stream_fifo_safety() -> Dict[str, object]:
+def stream_fifo_safety(backend: str = "interp") -> Dict[str, object]:
     """Section 7.2: the stream FIFO's documented-but-unenforced write
-    guard."""
-    from ..codegen.simfsm import MessagePort
+    guard -- the baseline overflows dynamically, the compiled Anvil
+    twin (run on ``backend``) never acknowledges an overflowing push, so
+    the same traffic arrives intact."""
+    from ..codegen.simfsm import MessagePort, build_simulation
     from ..designs.streams import PassthroughStreamFifo
+    from ..lang.process import System
     from ..rtl.simulator import Simulator
     from ..rtl.testing import PortSink, PortSource
 
@@ -226,10 +233,24 @@ def stream_fifo_safety() -> Dict[str, object]:
     sim.run(60)
     from ..anvil_designs.streams import passthrough_stream_fifo
     anvil_report = check_process(passthrough_stream_fifo(depth=2))
+    # the dynamic side of the comparison: same stall, no data loss
+    sys_ = System()
+    inst = sys_.add(passthrough_stream_fifo(depth=2))
+    in_ch = sys_.expose(inst, "inp")
+    out_ch = sys_.expose(inst, "out")
+    ss = build_simulation(sys_, backend=backend)
+    ext_in, ext_out = ss.external(in_ch), ss.external(out_ch)
+    for v in range(1, 9):
+        ext_in.send("data", v)
+    ss.sim.on_cycle(lambda c: ext_out.always_receive("data", c > 10))
+    ss.sim.run(60)
+    anvil_received = [v for _, v in ext_out.received.get("data", [])]
     return {
         "baseline_overflows": dut.overflows,
         "baseline_assertions": list(dut.assertions),
         "baseline_data_lost":
             [v for _, v in sink.received] != list(range(1, 9)),
         "anvil_guard_enforced_by_construction": anvil_report.ok,
+        "anvil_data_lost": anvil_received != list(range(1, 9)),
+        "anvil_backend": backend,
     }

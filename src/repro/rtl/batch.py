@@ -85,6 +85,31 @@ class BatchSimulator:
         self.sims[sim.name] = sim
         return sim
 
+    def add_scenario(self, name: str, engine: str = "levelized",
+                     seed: int = 0, stim: int = None,
+                     backend: str = "interp", anvil: bool = False,
+                     as_name: str = None) -> Simulator:
+        """Build a harness scenario straight into the batch.
+
+        ``backend`` selects the FSM execution backend of every compiled
+        Anvil process in the scenario (``"interp"`` or ``"pycompiled"``);
+        ``anvil=True`` picks the Anvil-only scenario set.  ``as_name``
+        renames the simulator, so the same scenario can be swept under
+        several engine x backend combinations in one batch."""
+        from ..harness.scenarios import (
+            DEFAULT_STIM,
+            build_anvil_scenario,
+            build_scenario,
+        )
+
+        builder = build_anvil_scenario if anvil else build_scenario
+        sim = builder(name, engine=engine, seed=seed,
+                      stim=DEFAULT_STIM if stim is None else stim,
+                      backend=backend)
+        if as_name:
+            sim.name = as_name
+        return self.add(sim)
+
     def __len__(self):
         return len(self.sims)
 
