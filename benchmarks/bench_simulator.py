@@ -33,18 +33,10 @@ import statistics
 import sys
 import time
 
+from repro.api import Session, SimConfig, get_registry
 from repro.codegen import pysim
 from repro.codegen.simfsm import BACKENDS
-from repro.harness.scenarios import (
-    ANVIL_SCENARIOS,
-    SCENARIOS,
-    build_anvil_scenario,
-    build_anvil_sweep,
-    build_scenario,
-    build_sweep,
-)
-
-ENGINES = ("brute", "levelized")
+from repro.rtl.simulator import ENGINES
 
 
 def _measure(builder, cycles, warmup, repeats):
@@ -122,19 +114,23 @@ def main(argv=None):
     check = not args.no_check
     stim = max(cycles * 2, 500)
 
+    # one resolved config describes the whole run; per-variant builds
+    # override only the axis under measurement
+    base_cfg = SimConfig(seed=args.seed, stim=stim, cycles=cycles)
+    session = Session(base_cfg)
+    registry = get_registry()
+
     # -- engine axis: brute vs levelized on the mixed scenarios ----------
     engine_rows = []
-    for name in SCENARIOS:
+    for name in registry.names("rtl", exclude="sweep"):
         builders = {
-            engine: (lambda e=engine, n=name: build_scenario(
-                n, engine=e, seed=args.seed, stim=stim))
+            engine: (lambda e=engine, n=name: session.build(n, engine=e))
             for engine in ENGINES
         }
         engine_rows.append(bench_pair(name, builders, ENGINES, cycles,
                                       warmup, repeats, check))
     sweep_builders = {
-        engine: (lambda e=engine: build_sweep(
-            e, seed=args.seed, stim=stim))
+        engine: (lambda e=engine: session.build("sweep", engine=e))
         for engine in ENGINES
     }
     engine_rows.append(bench_pair("sweep (all six)", sweep_builders,
@@ -147,17 +143,17 @@ def main(argv=None):
 
     # -- backend axis: plan interpreter vs generated Python --------------
     backend_rows = []
-    for name in ANVIL_SCENARIOS:
+    for name in registry.names("anvil", exclude="sweep"):
         builders = {
-            backend: (lambda b=backend, n=name: build_anvil_scenario(
-                n, seed=args.seed, stim=stim, backend=b))
+            backend: (lambda b=backend, n=name: session.build(
+                n, backend=b))
             for backend in BACKENDS
         }
         backend_rows.append(bench_pair(name, builders, BACKENDS,
                                        cycles, warmup, repeats, check))
     sweep_builders = {
-        backend: (lambda b=backend: build_anvil_sweep(
-            seed=args.seed, stim=stim, backend=b))
+        backend: (lambda b=backend: session.build("anvil_sweep",
+                                                  backend=b))
         for backend in BACKENDS
     }
     backend_rows.append(bench_pair("sweep (all six)", sweep_builders,
@@ -175,8 +171,8 @@ def main(argv=None):
     for engine in ENGINES:
         for backend in BACKENDS:
             cps, _sim = _measure(
-                lambda e=engine, b=backend: build_anvil_sweep(
-                    engine=e, seed=args.seed, stim=stim, backend=b),
+                lambda e=engine, b=backend: session.build(
+                    "anvil_sweep", engine=e, backend=b),
                 matrix_cycles, warmup, 1,
             )
             matrix[f"{engine}/{backend}"] = cps
@@ -202,6 +198,10 @@ def main(argv=None):
                 "repeats": repeats,
                 "checked": check,
             },
+            # the resolved SimConfig every scenario was elaborated
+            # under (per-variant rows override only the measured axis),
+            # so the record is self-describing
+            "sim_config": base_cfg.to_dict(),
             "engine_axis": engine_rows,
             "backend_axis": backend_rows,
             "anvil_sweep_matrix": matrix,

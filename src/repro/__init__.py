@@ -18,6 +18,10 @@ The package implements the complete system described in the paper:
   :mod:`repro.synth` -- the comparison substrates (rule scheduling, bounded
   model checking, execution-log semantics, synthesis cost model).
 * :mod:`repro.harness` -- regenerates every table and figure of the paper.
+* :mod:`repro.api` -- the unified run-time surface: one validated
+  :class:`~repro.api.SimConfig`, a :class:`~repro.api.Session` that
+  builds/runs/sweeps registered scenarios, and the scenario registry
+  behind the ``python -m repro`` CLI (:mod:`repro.__main__`).
 
 Quickstart::
 
@@ -34,6 +38,13 @@ Quickstart::
     )
     assert_safe(top)            # static timing-safety check
     print(to_systemverilog(top))
+
+Running the bundled workloads::
+
+    from repro import Session, SimConfig
+
+    session = Session(SimConfig(backend="pycompiled"))
+    print(session.run("anvil_aes", cycles=500).total_activity)
 """
 
 from .errors import (
@@ -92,10 +103,21 @@ from .codegen.sysverilog import emit_process as to_systemverilog
 from .codegen.sysverilog import emit_system
 from .lang.parser import parse, parse_process
 from .rtl.simulator import Simulator
-from .rtl.scheduler import CombScheduler
+from .rtl.scheduler import CombScheduler   # kept importable, not in __all__
 from .rtl.batch import BatchSimulator, run_batch
 from .rtl.module import Module
-from .rtl.signal import Wire
+from .rtl.signal import Wire               # kept importable, not in __all__
+from .api import (
+    RunResult,
+    Scenario,
+    ScenarioRegistry,
+    Session,
+    SimConfig,
+    UnknownScenarioError,
+    get_registry,
+    list_scenarios,
+    resolve_config,
+)
 
 __version__ = "1.0.0"
 
@@ -112,10 +134,13 @@ __all__ = [
     "BIT", "Bundle", "DataType", "Logic",
     "CheckReport", "assert_safe", "check_process", "build_thread",
     "optimize",
-    "AnvilProcessModule", "ExternalEndpoint", "build_simulation",
+    "AnvilProcessModule", "build_simulation",
     "compile_process", "to_systemverilog", "emit_system",
     "parse", "parse_process",
-    "Simulator", "CombScheduler", "BatchSimulator", "run_batch",
-    "Module", "Wire",
+    "Simulator", "BatchSimulator", "run_batch", "Module",
+    # the unified run-time API (repro.api)
+    "SimConfig", "Session", "RunResult",
+    "Scenario", "ScenarioRegistry", "UnknownScenarioError",
+    "get_registry", "list_scenarios", "resolve_config",
     "__version__",
 ]

@@ -1,0 +1,365 @@
+"""``python -m repro`` -- the command-line front end over :mod:`repro.api`.
+
+One option layer (``--engine/--backend/--parallel/--seed/--cycles/
+--stim/--trace/--json``) shared by every subcommand, resolved into a
+single :class:`~repro.api.SimConfig` and handed to a
+:class:`~repro.api.Session`:
+
+================  ===========================================================
+``list-scenarios``  enumerate the scenario registry (names, tags)
+``run``             build + run one registered scenario
+``sweep``           run many scenarios as one batch sweep
+``bench``           cycles/second of the configured engine x backend vs the
+                    reference pair, with equivalence checks
+``table1``          Table 1 (area/power/fmax/latency)
+``table2``          Table 2 (real-world hazard case studies)
+``figures``         Figures 1, 2, 4, 5, 6, 8
+``appendix-a``      Appendix A (typecheck vs bounded model checking)
+================  ===========================================================
+
+``--json`` (optionally ``--json PATH``) emits the machine-readable form
+of any subcommand's result; every blob embeds the resolved config so
+records are self-describing.  A subcommand exposes (and echoes) only
+the config fields its run actually consumes -- the harness drivers take
+``--backend``/``--parallel``, ``appendix-a`` just ``--backend`` (its
+BMC sides are serial by design).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict, List, Optional
+
+from .api import Session, SimConfig, UnknownScenarioError, get_registry
+from .codegen.simfsm import BACKENDS
+from .rtl.simulator import ENGINES
+
+#: every field of the shared option layer; subcommands that consume
+#: only part of the config expose only that part, so the echoed
+#: ``--json`` config never claims knobs the run ignored
+ALL_FIELDS = ("engine", "backend", "parallel", "seed", "cycles", "stim",
+              "trace")
+#: what the harness drivers actually thread through (appendix-a keeps
+#: its own serial-by-design parallel knob, so it exposes backend only)
+HARNESS_FIELDS = ("backend", "parallel")
+
+
+# ---------------------------------------------------------------------------
+# the shared option layer
+# ---------------------------------------------------------------------------
+def _add_config_options(parser: argparse.ArgumentParser,
+                        fields=ALL_FIELDS):
+    g = parser.add_argument_group("simulation config")
+    if "engine" in fields:
+        g.add_argument("--engine", choices=ENGINES, default=None,
+                       help="settle engine (default: levelized)")
+    if "backend" in fields:
+        g.add_argument("--backend", choices=BACKENDS, default=None,
+                       help="compiled-FSM execution backend "
+                            "(default: interp)")
+    if "parallel" in fields:
+        g.add_argument("--parallel", type=int, default=None, metavar="N",
+                       help="batch pool size; 0 forces serial "
+                            "(default: auto)")
+    if "seed" in fields:
+        g.add_argument("--seed", type=int, default=None,
+                       help="stimulus RNG seed (default: 0)")
+    if "cycles" in fields:
+        g.add_argument("--cycles", type=int, default=None,
+                       help="cycles to simulate (default: 1000)")
+    if "stim" in fields:
+        g.add_argument("--stim", type=int, default=None,
+                       help="stimulus depth override")
+    if "trace" in fields:
+        g.add_argument("--trace", action="store_true", default=False,
+                       help="render the ASCII waveform of each run")
+    g.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="emit machine-readable results (to PATH, or "
+                        "stdout when no PATH given)")
+    parser.set_defaults(config_fields=fields)
+
+
+def _config_from(args: argparse.Namespace) -> SimConfig:
+    overrides: Dict[str, object] = {}
+    for field in ("engine", "backend", "seed", "cycles", "stim"):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    if getattr(args, "trace", False):
+        overrides["trace"] = True
+    parallel = getattr(args, "parallel", None)
+    if parallel is not None:
+        overrides["parallel"] = False if parallel == 0 else parallel
+    return SimConfig(**overrides)
+
+
+def _emit_json(args: argparse.Namespace, payload: object) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if args.json == "-":
+        print(text)
+    else:
+        with open(args.json, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.json}")
+
+
+def _wrap(args: argparse.Namespace, result: object) -> Dict[str, object]:
+    """The self-describing envelope every --json blob shares.  Only the
+    config fields this subcommand exposes (and therefore threads into
+    the run) are echoed -- the blob never claims a knob the run
+    ignored."""
+    full = args.sim_config.to_dict()
+    return {"config": {k: full[k] for k in args.config_fields},
+            "result": result}
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+def cmd_list_scenarios(args) -> int:
+    registry = get_registry()
+    names = registry.names(args.tag)
+    if not names:
+        print(f"no scenarios tagged {args.tag!r} "
+              f"(known tags: {', '.join(registry.tags())})",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        payload = [
+            {"name": s.name, "tags": sorted(s.tags),
+             "description": s.description}
+            for s in registry if s.name in set(names)
+        ]
+        _emit_json(args, payload)
+        return 0
+    width = max(len(n) for n in names) + 2
+    for name in names:
+        sc = registry.get(name)
+        tags = ",".join(sorted(sc.tags))
+        print(f"{name:{width}s} [{tags}]  {sc.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = args.sim_config
+    result = Session(config).run(args.scenario)
+    if args.json:
+        _emit_json(args, result.to_dict(include_activity=args.activity))
+        return 0
+    print(f"scenario {result.scenario}: {result.cycles} cycles in "
+          f"{result.seconds:.3f}s ({result.cycles_per_second:,.0f} "
+          f"cycles/s)")
+    print(f"  engine={config.engine} backend={config.backend} "
+          f"seed={config.seed}")
+    print(f"  total activity: {result.total_activity} toggles across "
+          f"{len(result.activity)} wires, "
+          f"{result.diagnostics['modules']} modules")
+    if result.trace is not None:
+        print(result.trace)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    config = args.sim_config
+    results = Session(config).sweep(args.scenarios or None, tag=args.tag)
+    if args.json:
+        _emit_json(args, _wrap(args, {
+            name: r.to_dict() for name, r in results.items()
+        }))
+        return 0
+    total = 0
+    for name, r in results.items():
+        print(f"{name:18s} {r.cycles:6d} cycles  "
+              f"{r.total_activity:10d} toggles")
+        total += r.total_activity
+    elapsed = next(iter(results.values())).seconds if results else 0.0
+    print(f"swept {len(results)} scenarios in {elapsed:.3f}s "
+          f"({total} toggles)")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    config = args.sim_config
+    session = Session(config)
+    rows = session.bench(args.scenarios or None, tag=args.tag,
+                         warmup=args.warmup, repeats=args.repeats,
+                         check=not args.no_check)
+    if args.json:
+        _emit_json(args, _wrap(args, rows))
+    else:
+        base = f"brute/interp"
+        conf = f"{config.engine}/{config.backend}"
+        print(f"{'scenario':18s} {base + ' c/s':>16} {conf + ' c/s':>22} "
+              f"{'speedup':>8}  equal")
+        for r in rows:
+            eq = {True: "yes", False: "NO", None: "-"}[r["equivalent"]]
+            print(f"{r['scenario']:18s} "
+                  f"{r['baseline']['cycles_per_second']:16.0f} "
+                  f"{r['configured']['cycles_per_second']:22.0f} "
+                  f"{r['speedup']:7.2f}x  {eq}")
+        if len(rows) > 1:
+            geo = statistics.geometric_mean(
+                r["speedup"] for r in rows if r["speedup"] > 0)
+            print(f"geomean speedup: {geo:.2f}x")
+    bad = [r for r in rows if r["equivalent"] is False]
+    if bad:
+        print("ERROR: configured run diverges from baseline on: "
+              + ", ".join(r["scenario"] for r in bad), file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from .harness.table1 import format_table1
+
+    config = args.sim_config
+    rows = Session(config).table1(fast=args.fast)
+    if args.json:
+        _emit_json(args, _wrap(args, [
+            {**row._asdict(), "area_overhead": row.area_overhead,
+             "power_overhead": row.power_overhead}
+            for row in rows
+        ]))
+        return 0
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    config = args.sim_config
+    cases = Session(config).table2()
+    if args.json:
+        _emit_json(args, _wrap(args, cases))
+        return 0
+    for name, case in cases.items():
+        print(f"-- {name}: {case.get('issue', '(section 7.2)')}")
+        for key, value in case.items():
+            if key != "issue":
+                print(f"   {key}: {value}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    config = args.sim_config
+    figures = Session(config).figures()
+    if args.json:
+        _emit_json(args, _wrap(args, figures))
+        return 0
+    for name, fig in figures.items():
+        if isinstance(fig, dict):
+            keys = ", ".join(sorted(fig))
+            print(f"{name}: {keys}")
+        else:
+            print(f"{name}: {fig}")
+    return 0
+
+
+def cmd_appendix_a(args) -> int:
+    config = args.sim_config
+    report = Session(config).appendix_a(fast=args.fast)
+    if args.json:
+        _emit_json(args, _wrap(args, report))
+        return 0
+    anvil = report["anvil"]
+    print(f"anvil typecheck: {anvil['verdict']} in "
+          f"{anvil['seconds'] * 1000:.1f}ms (modular={anvil['modular']})")
+    for side in ("bmc_full_width", "bmc_reduced_width"):
+        r = report[side]
+        print(f"{side}: {r['verdict']} after {r['states_explored']} "
+              f"states / depth {r['depth_reached']} "
+              f"in {r['seconds']:.2f}s")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser assembly
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified front end: scenarios, sweeps, benchmarks "
+                    "and the paper harnesses over one SimConfig.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list-scenarios",
+                       help="enumerate the scenario registry")
+    p.add_argument("--tag", default=None,
+                   help="only scenarios carrying this tag")
+    _add_config_options(p, fields=())
+    p.set_defaults(fn=cmd_list_scenarios)
+
+    p = sub.add_parser("run", help="run one registered scenario")
+    p.add_argument("scenario", help="a registry name (see list-scenarios)")
+    p.add_argument("--activity", action="store_true",
+                   help="include per-wire toggle counts in --json output")
+    _add_config_options(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("sweep", help="run scenarios as one batch sweep")
+    p.add_argument("scenarios", nargs="*",
+                   help="registry names (default: every non-sweep "
+                        "scenario, or those matching --tag)")
+    p.add_argument("--tag", default=None)
+    _add_config_options(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the configured engine/backend vs the reference")
+    p.add_argument("scenarios", nargs="*")
+    p.add_argument("--tag", default=None)
+    p.add_argument("--warmup", type=int, default=20)
+    p.add_argument("--repeats", type=int, default=1)
+    p.add_argument("--no-check", action="store_true",
+                   help="skip waveform/activity equivalence checks")
+    _add_config_options(p)
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("table1", help="Table 1: area/power/fmax/latency")
+    p.add_argument("--fast", action="store_true",
+                   help="skip the activity simulations")
+    _add_config_options(p, fields=HARNESS_FIELDS)
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("table2", help="Table 2: hazard case studies")
+    _add_config_options(p, fields=HARNESS_FIELDS)
+    p.set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("figures", help="Figures 1, 2, 4, 5, 6, 8")
+    _add_config_options(p, fields=HARNESS_FIELDS)
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("appendix-a",
+                       help="Appendix A: typecheck vs BMC")
+    p.add_argument("--fast", action="store_true",
+                   help="shrink the BMC budgets (CI smoke)")
+    _add_config_options(p, fields=("backend",))
+    p.set_defaults(fn=cmd_appendix_a)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        args.sim_config = _config_from(args)
+    except ValueError as exc:
+        # SimConfig validation errors are user-input errors
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return args.fn(args)
+    except UnknownScenarioError as exc:
+        # lookup misses name the known scenarios; anything else is a
+        # real defect and should traceback
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,513 @@
+"""The unified run-time surface: ``SimConfig`` -> ``Session`` -> results.
+
+PR 1 (the levelized engine) and PR 2 (the generated-Python FSM backend)
+each threaded a new knob -- ``engine``, ``backend``, ``parallel``,
+``seed`` -- positionally through the scenario builders, the batch
+runner, the four harness drivers and the benchmark.  This module
+consolidates that surface behind three pieces:
+
+* :class:`SimConfig` -- one frozen, validated configuration record for
+  every axis the simulation stack exposes.  Invalid values fail at
+  construction time with actionable errors naming the known choices.
+* :class:`ScenarioRegistry` -- scenarios register themselves once (by
+  decorator, with tags like ``rtl``/``anvil``/``sweep``) and are then
+  uniformly enumerable, benchable, batchable and testable.  The
+  canonical instance is populated by :mod:`repro.harness.scenarios`;
+  use :func:`get_registry` to obtain it fully populated.
+* :class:`Session` -- owns a ``SimConfig``, builds simulators from the
+  registry, runs single scenarios or sweeps (delegating to
+  :class:`~repro.rtl.batch.BatchSimulator`), measures benchmark pairs,
+  and drives the four paper harnesses.  Every run returns a structured
+  :class:`RunResult`.
+
+``python -m repro`` (:mod:`repro.__main__`) is a thin CLI over a
+``Session``; the legacy keyword/positional entry points survive as
+deprecation shims that forward here.
+
+Quickstart::
+
+    from repro import Session, SimConfig
+
+    s = Session(SimConfig(engine="levelized", backend="pycompiled"))
+    result = s.run("anvil_aes", cycles=500)
+    print(result.total_activity, result.cycles_per_second)
+    for name, r in s.sweep(tag="anvil", cycles=200).items():
+        print(name, r.total_activity)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .codegen.simfsm import BACKENDS
+from .rtl.batch import BatchSimulator
+from .rtl.simulator import ENGINES, Simulator
+from .rtl.waveform import Waveform
+
+Parallel = Union[bool, int, None]
+
+
+def _choices(known: Sequence[str]) -> str:
+    return ", ".join(repr(k) for k in known)
+
+
+# ---------------------------------------------------------------------------
+# SimConfig
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimConfig:
+    """One immutable record of every run-time knob.
+
+    ``engine``
+        module-level settle scheduling (:data:`repro.rtl.simulator.ENGINES`);
+    ``backend``
+        compiled-Anvil FSM execution (:data:`repro.codegen.simfsm.BACKENDS`);
+    ``parallel``
+        batch-runner pool size: ``None`` auto, ``False`` serial, an int
+        forces a worker count (see :mod:`repro.rtl.batch`);
+    ``seed``
+        stimulus RNG seed -- builders are deterministic in it;
+    ``cycles``
+        default cycle count for :meth:`Session.run`/:meth:`Session.sweep`;
+    ``stim``
+        stimulus depth override (``None`` -> each scenario's default);
+    ``trace``
+        when true, :class:`RunResult` carries the rendered ASCII waveform.
+    """
+
+    engine: str = "levelized"
+    backend: str = "interp"
+    parallel: Parallel = None
+    seed: int = 0
+    cycles: int = 1000
+    stim: Optional[int] = None
+    trace: bool = False
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}: known engines are "
+                f"{_choices(ENGINES)}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}: known backends are "
+                f"{_choices(BACKENDS)}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an int, got {self.seed!r}")
+        if not isinstance(self.cycles, int) or isinstance(self.cycles, bool) \
+                or self.cycles < 1:
+            raise ValueError(
+                f"cycles must be a positive int, got {self.cycles!r}"
+            )
+        if self.stim is not None and (
+                not isinstance(self.stim, int) or isinstance(self.stim, bool)
+                or self.stim < 1):
+            raise ValueError(
+                f"stim must be a positive int or None, got {self.stim!r}"
+            )
+        if self.parallel is not None and not isinstance(
+                self.parallel, (bool, int)):
+            raise ValueError(
+                f"parallel must be a bool, an int worker count or None, "
+                f"got {self.parallel!r}"
+            )
+
+    def replace(self, **overrides) -> "SimConfig":
+        """A copy with ``overrides`` applied (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable mapping of every field (the shape echoed
+        into benchmark blobs and ``--json`` CLI output)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown SimConfig field(s) {_choices(unknown)}: known "
+                f"fields are {_choices(sorted(known))}"
+            )
+        return cls(**data)
+
+
+def resolve_config(config: Union["SimConfig", "Session", None] = None,
+                   **overrides) -> SimConfig:
+    """Coerce ``(config, legacy keyword overrides)`` into one ``SimConfig``.
+
+    This is the compatibility seam the harness drivers share: ``config``
+    may be a ``SimConfig``, a ``Session`` (its config is taken) or
+    ``None`` (defaults); any override whose value is not ``None`` wins
+    over the corresponding config field.
+    """
+    if isinstance(config, Session):
+        config = config.config
+    cfg = config if config is not None else SimConfig()
+    if not isinstance(cfg, SimConfig):
+        raise TypeError(
+            f"config must be a SimConfig, a Session or None, got "
+            f"{type(cfg).__name__}"
+        )
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+# ---------------------------------------------------------------------------
+# the scenario registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One registered workload: a deterministic simulator builder."""
+
+    name: str
+    builder: Callable[..., Simulator]
+    tags: frozenset
+    description: str = ""
+
+    def build(self, config: SimConfig, sim: Optional[Simulator] = None
+              ) -> Simulator:
+        """Elaborate under ``config`` (optionally into an existing sim)."""
+        kwargs = dict(engine=config.engine, seed=config.seed,
+                      backend=config.backend, sim=sim)
+        if config.stim is not None:
+            kwargs["stim"] = config.stim
+        return self.builder(**kwargs)
+
+
+class UnknownScenarioError(KeyError):
+    """Raised on a registry lookup miss (a user-input error: the message
+    names the known scenarios, and the CLI reports it without a
+    traceback)."""
+
+
+class ScenarioRegistry:
+    """Named, tagged, enumerable scenarios -- defined once, consumed by
+    the batch runner, the benchmark sweep, the equivalence tests and the
+    CLI alike.
+
+    >>> registry = ScenarioRegistry()
+    >>> @registry.scenario("toy", tags=("rtl",))
+    ... def build_toy(engine="levelized", seed=0, stim=100, sim=None,
+    ...               backend="interp"):
+    ...     ...
+    """
+
+    def __init__(self):
+        self._scenarios: Dict[str, Scenario] = {}
+
+    # -- registration --------------------------------------------------
+    def scenario(self, name: str, tags: Sequence[str] = (),
+                 description: str = ""):
+        """Decorator form of :meth:`add`; returns the builder unchanged."""
+        def decorate(builder):
+            self.add(name, builder, tags=tags, description=description)
+            return builder
+        return decorate
+
+    def add(self, name: str, builder: Callable[..., Simulator],
+            tags: Sequence[str] = (), description: str = "") -> Scenario:
+        if name in self._scenarios:
+            raise ValueError(f"scenario {name!r} is already registered")
+        if not description and builder.__doc__:
+            description = builder.__doc__.strip().splitlines()[0]
+        sc = Scenario(name=name, builder=builder, tags=frozenset(tags),
+                      description=description)
+        self._scenarios[name] = sc
+        return sc
+
+    # -- lookup --------------------------------------------------------
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            hint = ""
+            close = difflib.get_close_matches(name, self._scenarios, n=3)
+            if close:
+                hint = f" (did you mean {_choices(close)}?)"
+            raise UnknownScenarioError(
+                f"unknown scenario {name!r}{hint}: known scenarios are "
+                f"{_choices(self.names())}"
+            ) from None
+
+    def names(self, tag: Optional[str] = None, *,
+              exclude: Optional[str] = None) -> List[str]:
+        """Registered names in registration order, optionally filtered
+        to those carrying ``tag`` and/or not carrying ``exclude``."""
+        return [
+            s.name for s in self._scenarios.values()
+            if (tag is None or tag in s.tags)
+            and (exclude is None or exclude not in s.tags)
+        ]
+
+    def tags(self) -> List[str]:
+        """Every tag in use, sorted."""
+        return sorted({t for s in self._scenarios.values() for t in s.tags})
+
+    def build(self, name: str, config: Optional[SimConfig] = None,
+              sim: Optional[Simulator] = None) -> Simulator:
+        return self.get(name).build(config or SimConfig(), sim=sim)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios.values())
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __repr__(self):
+        return f"ScenarioRegistry({self.names()})"
+
+
+#: the canonical registry.  :mod:`repro.harness.scenarios` populates it
+#: at import time; call :func:`get_registry` to get it populated.
+REGISTRY = ScenarioRegistry()
+
+
+def get_registry() -> ScenarioRegistry:
+    """The canonical registry, with the bundled scenarios registered."""
+    from .harness import scenarios  # noqa: F401  (imports register)
+    return REGISTRY
+
+
+def list_scenarios(tag: Optional[str] = None) -> List[str]:
+    """Names of every registered scenario (optionally tag-filtered)."""
+    return get_registry().names(tag)
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunResult:
+    """What one scenario run produced.
+
+    ``cycles`` is the cycle count this run advanced; ``activity`` is the
+    per-wire toggle map keyed by ``(module, wire)``; ``waveform`` is the
+    live waveform handle (``trace`` its rendered form when the config
+    asked for it); ``seconds`` the wall-clock of the run phase only
+    (elaboration excluded).
+    """
+
+    scenario: str
+    config: SimConfig
+    cycles: int
+    total_activity: int
+    activity: Dict[Tuple[str, str], int]
+    waveform: Waveform
+    seconds: float
+    trace: Optional[str] = None
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+    sim: Simulator = field(default=None, repr=False, compare=False)
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.cycles / self.seconds if self.seconds > 0 else 0.0
+
+    def to_dict(self, include_activity: bool = False) -> Dict[str, object]:
+        """A JSON-serializable summary (the CLI ``--json`` shape)."""
+        out: Dict[str, object] = {
+            "scenario": self.scenario,
+            "config": self.config.to_dict(),
+            "cycles": self.cycles,
+            "total_activity": self.total_activity,
+            "seconds": self.seconds,
+            "cycles_per_second": self.cycles_per_second,
+            "diagnostics": dict(self.diagnostics),
+        }
+        if include_activity:
+            out["activity"] = {
+                f"{module}/{wire}": count
+                for (module, wire), count in sorted(self.activity.items())
+            }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
+
+
+def _result_of(name: str, config: SimConfig, sim: Simulator,
+               cycles: int, seconds: float,
+               extra_diagnostics: Optional[Dict[str, object]] = None
+               ) -> RunResult:
+    diagnostics = {
+        "engine": sim.engine,
+        "modules": len(sim.modules),
+        "watched_signals": len(sim.waveform.samples),
+        "final_cycle": sim.cycle,
+    }
+    diagnostics.update(extra_diagnostics or {})
+    return RunResult(
+        scenario=name,
+        config=config,
+        cycles=cycles,
+        total_activity=sim.total_activity(),
+        activity=dict(sim.activity),
+        waveform=sim.waveform,
+        seconds=seconds,
+        trace=sim.waveform.render() if config.trace else None,
+        diagnostics=diagnostics,
+        sim=sim,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Session
+# ---------------------------------------------------------------------------
+class Session:
+    """A configured front door to the whole simulation stack.
+
+    A ``Session`` owns one :class:`SimConfig` (its defaults for every
+    run), resolves scenarios through the registry, and exposes the
+    operations the repository previously scattered over loose keyword
+    arguments: single runs, batch sweeps, benchmark pairs, and the four
+    paper harness drivers.  Per-call ``**overrides`` produce a derived
+    config for that call only.
+    """
+
+    def __init__(self, config: Optional[SimConfig] = None, **overrides):
+        self.config = resolve_config(config, **overrides)
+
+    @property
+    def registry(self) -> ScenarioRegistry:
+        return get_registry()
+
+    def with_config(self, **overrides) -> "Session":
+        """A new session whose config differs by ``overrides``."""
+        return Session(self.config.replace(**overrides))
+
+    # -- building and running ------------------------------------------
+    def build(self, scenario: str, sim: Optional[Simulator] = None,
+              **overrides) -> Simulator:
+        """Elaborate one registered scenario under this session's config."""
+        cfg = resolve_config(self.config, **overrides)
+        return self.registry.build(scenario, cfg, sim=sim)
+
+    def run(self, scenario: str, cycles: Optional[int] = None,
+            **overrides) -> RunResult:
+        """Build and run one scenario; returns a :class:`RunResult`."""
+        cfg = resolve_config(self.config, cycles=cycles, **overrides)
+        sim = self.registry.build(scenario, cfg)
+        t0 = time.perf_counter()
+        sim.run(cfg.cycles)
+        elapsed = time.perf_counter() - t0
+        return _result_of(scenario, cfg, sim, cfg.cycles, elapsed)
+
+    def _select(self, scenarios: Optional[Sequence[str]],
+                tag: Optional[str]) -> List[str]:
+        """Scenario selection shared by batch/sweep/bench: an explicit
+        name list, else every scenario carrying ``tag``, else every
+        non-sweep scenario (the all-in-one sweeps would duplicate the
+        individual families' work)."""
+        if scenarios:
+            return list(scenarios)
+        return self.registry.names(
+            tag, exclude=None if tag == "sweep" else "sweep")
+
+    def batch(self, scenarios: Optional[Sequence[str]] = None,
+              tag: Optional[str] = None, **overrides) -> BatchSimulator:
+        """A :class:`~repro.rtl.batch.BatchSimulator` holding the named
+        (or tag-selected) scenarios, ready to step as one sweep."""
+        cfg = resolve_config(self.config, **overrides)
+        batch = BatchSimulator(parallel=cfg.parallel)
+        for name in self._select(scenarios, tag):
+            batch.add(self.registry.build(name, cfg))
+        return batch
+
+    def sweep(self, scenarios: Optional[Sequence[str]] = None,
+              tag: Optional[str] = None, cycles: Optional[int] = None,
+              **overrides) -> Dict[str, RunResult]:
+        """Run many scenarios as one batch sweep (built via
+        :meth:`batch`).
+
+        Returns results keyed by scenario name in selection order; each
+        result's ``seconds`` is the wall-clock of the whole sweep (the
+        scenarios run concurrently on the batch pool, so per-scenario
+        timing is not separable).
+        """
+        cfg = resolve_config(self.config, cycles=cycles, **overrides)
+        batch = self.batch(scenarios, tag, cycles=cycles, **overrides)
+        t0 = time.perf_counter()
+        batch.run(cfg.cycles)
+        elapsed = time.perf_counter() - t0
+        return {
+            name: _result_of(name, cfg, batch[name], cfg.cycles, elapsed,
+                             {"sweep_size": len(batch)})
+            for name in batch.sims
+        }
+
+    # -- benchmarking --------------------------------------------------
+    def bench(self, scenarios: Optional[Sequence[str]] = None,
+              tag: Optional[str] = None, *, cycles: Optional[int] = None,
+              warmup: int = 20, repeats: int = 1,
+              baseline: Optional[SimConfig] = None,
+              check: bool = True) -> List[Dict[str, object]]:
+        """Measure this config against a baseline config per scenario.
+
+        The baseline defaults to the reference pair (``brute`` engine,
+        ``interp`` backend) with this session's seed/stim, so the result
+        reads as "what the configured fast paths buy".  Each row carries
+        cycles/second for both configs, the speedup, and (when ``check``)
+        waveform/activity equivalence between the two runs.
+        """
+        cfg = resolve_config(self.config, cycles=cycles)
+        base = baseline or cfg.replace(engine="brute", backend="interp")
+        names = self._select(scenarios, tag)
+        rows = []
+        for name in names:
+            pair = {}
+            for label, c in (("baseline", base), ("configured", cfg)):
+                best, sim = 0.0, None
+                for _ in range(max(repeats, 1)):
+                    sim = self.registry.build(name, c)
+                    sim.run(warmup)
+                    t0 = time.perf_counter()
+                    sim.run(cfg.cycles)
+                    best = max(best, cfg.cycles / (time.perf_counter() - t0))
+                pair[label] = (best, sim)
+            (b_cps, b_sim), (c_cps, c_sim) = pair["baseline"], \
+                pair["configured"]
+            equivalent = True
+            if check:
+                equivalent = (b_sim.activity == c_sim.activity
+                              and b_sim.waveform.samples
+                              == c_sim.waveform.samples)
+            rows.append({
+                "scenario": name,
+                "baseline": {"config": base.to_dict(),
+                             "cycles_per_second": b_cps},
+                "configured": {"config": cfg.to_dict(),
+                               "cycles_per_second": c_cps},
+                "speedup": c_cps / b_cps if b_cps else 0.0,
+                "equivalent": equivalent if check else None,
+            })
+        return rows
+
+    # -- the paper harnesses -------------------------------------------
+    def table1(self, fast: bool = False):
+        """Table 1 rows under this session's backend/parallel config."""
+        from .harness.table1 import generate_table1
+        return generate_table1(fast=fast, config=self.config)
+
+    def table2(self) -> Dict[str, Dict[str, object]]:
+        from .harness.table2 import generate_table2
+        return generate_table2(config=self.config)
+
+    def figures(self) -> Dict[str, object]:
+        from .harness.figures import generate_figures
+        return generate_figures(config=self.config)
+
+    def appendix_a(self, fast: bool = False) -> Dict[str, object]:
+        from .harness.appendix_a import appendix_a
+        return appendix_a(config=self.config, fast=fast)
+
+    def __repr__(self):
+        return f"Session({self.config!r})"

@@ -1,4 +1,15 @@
-"""Experiment harness: regenerates every table and figure of the paper."""
+"""Experiment harness: regenerates every table and figure of the paper.
+
+All four drivers (``generate_table1``, ``generate_table2``,
+``generate_figures``, ``appendix_a``) accept a
+:class:`~repro.api.SimConfig` (or :class:`~repro.api.Session`) via
+``config=``; the loose ``parallel``/``backend`` keywords survive as
+compatibility shims.  The workload builders in :mod:`.scenarios`
+register with the canonical scenario registry
+(:func:`repro.api.get_registry`); the ``SCENARIOS``/``ANVIL_SCENARIOS``
+dicts and ``build_*`` helpers re-exported here are deprecated shims
+over it.
+"""
 
 from .appendix_a import appendix_a
 from .figures import (

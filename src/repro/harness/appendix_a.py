@@ -182,29 +182,47 @@ def verification_side(max_depth: int = 2000, max_states: int = 60_000,
     }
 
 
-def appendix_a(parallel: bool = False,
-               backend: str = "interp") -> Dict[str, object]:
+def appendix_a(parallel: bool = False, backend: str = None,
+               config=None, fast: bool = False) -> Dict[str, object]:
     """The full comparison.
 
-    ``parallel=False`` by default, and that is the setting whose output
-    is meaningful: the BMC sides run against *wall-clock* time budgets,
-    so GIL contention under ``parallel=True`` starves them of explored
-    states per second and can flip the budget-bounded verdicts
+    ``config`` (a :class:`~repro.api.SimConfig` or
+    :class:`~repro.api.Session`) supplies the FSM execution backend of
+    the simulated Anvil side; the ``backend`` keyword survives as a
+    compatibility shim and wins when given.
+
+    ``parallel`` is this driver's own knob (never taken from the
+    config) and stays ``False`` by default, the only setting whose
+    output is meaningful: the BMC sides run against *wall-clock* time
+    budgets, so GIL contention under ``parallel=True`` starves them of
+    explored states per second and can flip the budget-bounded verdicts
     themselves (e.g. the reduced-width case failing to reach its
-    violation on a slow runner), not just skew the reported seconds."""
+    violation on a slow runner), not just skew the reported seconds.
+
+    ``fast=True`` shrinks the BMC budgets for CI/CLI smoke runs while
+    preserving the qualitative outcome (full width exhausts its budget
+    without the violation; reduced width reaches it)."""
+    from ..api import resolve_config
     from ..rtl.batch import run_batch
 
+    cfg = resolve_config(config, backend=backend)
+    full_kw = dict(counter_bits=32)
+    reduced_kw = dict(counter_bits=8, time_budget=10.0,
+                      max_states=2_000_000, max_depth=400)
+    if fast:
+        full_kw.update(time_budget=0.5, max_states=8_000, max_depth=300)
+        reduced_kw.update(time_budget=2.0, max_states=200_000)
     return run_batch(
         [
-            ("anvil", lambda: anvil_side(backend=backend)),
+            ("anvil", lambda: anvil_side(backend=cfg.backend)),
             # full-size counter: the BMC burns its budget without the
             # violation
-            ("bmc_full_width", lambda: verification_side(counter_bits=32)),
+            ("bmc_full_width",
+             lambda: verification_side(**full_kw)),
             # shrunk counter (what a verification engineer must do by
             # hand): now the violation is reachable within budget
-            ("bmc_reduced_width", lambda: verification_side(
-                counter_bits=8, time_budget=10.0,
-                max_states=2_000_000, max_depth=400)),
+            ("bmc_reduced_width",
+             lambda: verification_side(**reduced_kw)),
         ],
         parallel=parallel,
     )

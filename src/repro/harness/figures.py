@@ -343,26 +343,31 @@ def figure6() -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 # Figure 8
 # ---------------------------------------------------------------------------
-def generate_figures(parallel=None,
-                     backend: str = "interp") -> Dict[str, object]:
+def generate_figures(parallel=None, backend: str = None,
+                     config=None) -> Dict[str, object]:
     """Every figure harness as one batch sweep (each figure builds its
     own simulators/processes, so the jobs are independent; thread-based,
-    see :mod:`repro.rtl.batch` for the GIL caveat).  ``backend`` selects
-    the FSM execution backend wherever a figure simulates a compiled
-    process (figure 4)."""
+    see :mod:`repro.rtl.batch` for the GIL caveat).  ``config`` (a
+    :class:`~repro.api.SimConfig` or :class:`~repro.api.Session`)
+    supplies the FSM execution backend wherever a figure simulates a
+    compiled process (figure 4) and the pool size; the
+    ``parallel``/``backend`` keywords survive as a compatibility shim
+    and win over the config when given."""
+    from ..api import resolve_config
     from ..rtl.batch import run_batch
 
+    cfg = resolve_config(config, parallel=parallel, backend=backend)
     return run_batch(
         [
             ("figure1", figure1),
             ("figure2_bsv", figure2_bsv),
             ("figure2_anvil", figure2_anvil),
-            ("figure4", lambda: figure4(backend=backend)),
+            ("figure4", lambda: figure4(backend=cfg.backend)),
             ("figure5", figure5),
             ("figure6", figure6),
             ("figure8", figure8),
         ],
-        parallel=parallel,
+        parallel=cfg.parallel,
     )
 
 

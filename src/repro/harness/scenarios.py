@@ -23,13 +23,25 @@ These are the workloads on which the FSM execution *backend* matters:
 Builders are deterministic in ``seed`` and never consult the engine or
 backend, so two sims built with different engine/backend combinations
 see identical stimulus.
+
+Every builder registers itself with the canonical
+:class:`~repro.api.ScenarioRegistry` (``repro.api.REGISTRY``), tagged
+``rtl`` (mixed baseline+Anvil), ``anvil`` (compiled-only; registered
+under ``anvil_*`` names) or ``sweep`` (all-in-one simulators).  The
+registry is the single code path through which
+:class:`~repro.rtl.batch.BatchSimulator.add_scenario`, the benchmark
+sweep, the equivalence tests and the ``python -m repro`` CLI look up and
+elaborate workloads; the ``SCENARIOS``/``ANVIL_SCENARIOS`` dicts and the
+``build_*`` functions below survive only as deprecation shims over it.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Callable, Dict, List
 
+from ..api import REGISTRY, SimConfig
 from ..codegen.simfsm import MessagePort, build_simulation
 from ..designs.aes import OP_DECRYPT, OP_ENCRYPT, AesCore, aes_pack
 from ..designs.axi import (
@@ -86,6 +98,7 @@ def _attach_anvil(sim: Simulator, process, stimuli: Dict[str, dict],
 # ---------------------------------------------------------------------------
 # the six design families
 # ---------------------------------------------------------------------------
+@REGISTRY.scenario("streams", tags=("rtl",))
 def scenario_streams(engine: str = "levelized", seed: int = 0,
                      stim: int = DEFAULT_STIM, sim: Simulator = None,
                      backend: str = "interp") -> Simulator:
@@ -122,6 +135,7 @@ def scenario_streams(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("memory", tags=("rtl",))
 def scenario_memory(engine: str = "levelized", seed: int = 0,
                     stim: int = DEFAULT_STIM, sim: Simulator = None,
                     backend: str = "interp") -> Simulator:
@@ -154,6 +168,7 @@ def scenario_memory(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("aes", tags=("rtl",))
 def scenario_aes(engine: str = "levelized", seed: int = 0,
                  stim: int = DEFAULT_STIM, sim: Simulator = None,
                  backend: str = "interp") -> Simulator:
@@ -178,6 +193,7 @@ def scenario_aes(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("axi", tags=("rtl",))
 def scenario_axi(engine: str = "levelized", seed: int = 0,
                  stim: int = DEFAULT_STIM, sim: Simulator = None,
                  backend: str = "interp") -> Simulator:
@@ -225,6 +241,7 @@ def scenario_axi(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("mmu", tags=("rtl",))
 def scenario_mmu(engine: str = "levelized", seed: int = 0,
                  stim: int = DEFAULT_STIM, sim: Simulator = None,
                  backend: str = "interp") -> Simulator:
@@ -251,6 +268,7 @@ def scenario_mmu(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("pipeline", tags=("rtl",))
 def scenario_pipeline(engine: str = "levelized", seed: int = 0,
                       stim: int = DEFAULT_STIM, sim: Simulator = None,
                       backend: str = "interp") -> Simulator:
@@ -285,6 +303,22 @@ def scenario_pipeline(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("sweep", tags=("rtl", "sweep"))
+def scenario_sweep(engine: str = "levelized", seed: int = 0,
+                   stim: int = DEFAULT_STIM, sim: Simulator = None,
+                   backend: str = "interp") -> Simulator:
+    """All six mixed families elaborated into one simulator -- the
+    'design sweep' shape the harness tables run, and the regime where
+    the seed's global fixpoint loop hurts most."""
+    sim = sim or Simulator("sweep", engine=engine)
+    for builder in (scenario_streams, scenario_memory, scenario_aes,
+                    scenario_axi, scenario_mmu, scenario_pipeline):
+        builder(engine=engine, seed=seed, stim=stim, sim=sim,
+                backend=backend)
+    return sim
+
+
+#: deprecated view kept for one release; use ``repro.api.get_registry()``
 SCENARIOS: Dict[str, Callable[..., Simulator]] = {
     "streams": scenario_streams,
     "memory": scenario_memory,
@@ -295,29 +329,36 @@ SCENARIOS: Dict[str, Callable[..., Simulator]] = {
 }
 
 
+def _deprecated(old: str, new: str):
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.api)",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
 def build_scenario(name: str, engine: str = "levelized", seed: int = 0,
                    stim: int = DEFAULT_STIM,
                    backend: str = "interp") -> Simulator:
-    return SCENARIOS[name](engine=engine, seed=seed, stim=stim,
-                           backend=backend)
+    """Deprecated shim: kwargs-era entry point over the registry."""
+    _deprecated("build_scenario()",
+                "Session.build(name) / get_registry().build(name, config)")
+    return REGISTRY.build(name, SimConfig(
+        engine=engine, seed=seed, stim=stim, backend=backend))
 
 
 def build_sweep(engine: str = "levelized", seed: int = 0,
                 stim: int = DEFAULT_STIM,
                 backend: str = "interp") -> Simulator:
-    """All six families elaborated into one simulator -- the 'design
-    sweep' shape the harness tables run, and the regime where the seed's
-    global fixpoint loop hurts most."""
-    sim = Simulator("sweep", engine=engine)
-    for name, builder in SCENARIOS.items():
-        builder(engine=engine, seed=seed, stim=stim, sim=sim,
-                backend=backend)
-    return sim
+    """Deprecated shim: the registered ``sweep`` scenario."""
+    _deprecated("build_sweep()", 'Session.build("sweep")')
+    return REGISTRY.build("sweep", SimConfig(
+        engine=engine, seed=seed, stim=stim, backend=backend))
 
 
 # ---------------------------------------------------------------------------
 # the Anvil-only scenarios: compiled processes, no baseline RTL
 # ---------------------------------------------------------------------------
+@REGISTRY.scenario("anvil_streams", tags=("anvil",))
 def anvil_streams(engine: str = "levelized", seed: int = 0,
                   stim: int = DEFAULT_STIM, sim: Simulator = None,
                   backend: str = "interp") -> Simulator:
@@ -342,6 +383,7 @@ def anvil_streams(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("anvil_memory", tags=("anvil",))
 def anvil_memory(engine: str = "levelized", seed: int = 0,
                  stim: int = DEFAULT_STIM, sim: Simulator = None,
                  backend: str = "interp") -> Simulator:
@@ -366,6 +408,7 @@ def anvil_memory(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("anvil_aes", tags=("anvil",))
 def anvil_aes(engine: str = "levelized", seed: int = 0,
               stim: int = DEFAULT_STIM, sim: Simulator = None,
               backend: str = "interp") -> Simulator:
@@ -389,6 +432,7 @@ def anvil_aes(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("anvil_axi", tags=("anvil",))
 def anvil_axi(engine: str = "levelized", seed: int = 0,
               stim: int = DEFAULT_STIM, sim: Simulator = None,
               backend: str = "interp") -> Simulator:
@@ -417,6 +461,7 @@ def anvil_axi(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("anvil_mmu", tags=("anvil",))
 def anvil_mmu(engine: str = "levelized", seed: int = 0,
               stim: int = DEFAULT_STIM, sim: Simulator = None,
               backend: str = "interp") -> Simulator:
@@ -454,6 +499,7 @@ def anvil_mmu(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("anvil_pipeline", tags=("anvil",))
 def anvil_pipeline(engine: str = "levelized", seed: int = 0,
                    stim: int = DEFAULT_STIM, sim: Simulator = None,
                    backend: str = "interp") -> Simulator:
@@ -479,6 +525,22 @@ def anvil_pipeline(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+@REGISTRY.scenario("anvil_sweep", tags=("anvil", "sweep"))
+def scenario_anvil_sweep(engine: str = "levelized", seed: int = 0,
+                         stim: int = DEFAULT_STIM, sim: Simulator = None,
+                         backend: str = "interp") -> Simulator:
+    """All six compiled families in one simulator -- the backend
+    benchmark's sweep shape."""
+    sim = sim or Simulator("anvil_sweep", engine=engine)
+    for builder in (anvil_streams, anvil_memory, anvil_aes, anvil_axi,
+                    anvil_mmu, anvil_pipeline):
+        builder(engine=engine, seed=seed, stim=stim, sim=sim,
+                backend=backend)
+    return sim
+
+
+#: deprecated view kept for one release; note the registry names these
+#: ``anvil_streams`` ... -- this dict keeps the old short keys
 ANVIL_SCENARIOS: Dict[str, Callable[..., Simulator]] = {
     "streams": anvil_streams,
     "memory": anvil_memory,
@@ -492,17 +554,19 @@ ANVIL_SCENARIOS: Dict[str, Callable[..., Simulator]] = {
 def build_anvil_scenario(name: str, engine: str = "levelized",
                          seed: int = 0, stim: int = DEFAULT_STIM,
                          backend: str = "interp") -> Simulator:
-    return ANVIL_SCENARIOS[name](engine=engine, seed=seed, stim=stim,
-                                 backend=backend)
+    """Deprecated shim: short-name lookup over the ``anvil_*`` registry
+    entries."""
+    _deprecated("build_anvil_scenario()",
+                'Session.build("anvil_<name>")')
+    key = name if name.startswith("anvil_") else f"anvil_{name}"
+    return REGISTRY.build(key, SimConfig(
+        engine=engine, seed=seed, stim=stim, backend=backend))
 
 
 def build_anvil_sweep(engine: str = "levelized", seed: int = 0,
                       stim: int = DEFAULT_STIM,
                       backend: str = "interp") -> Simulator:
-    """All six compiled families in one simulator -- the backend
-    benchmark's sweep shape."""
-    sim = Simulator("anvil_sweep", engine=engine)
-    for name, builder in ANVIL_SCENARIOS.items():
-        builder(engine=engine, seed=seed, stim=stim, sim=sim,
-                backend=backend)
-    return sim
+    """Deprecated shim: the registered ``anvil_sweep`` scenario."""
+    _deprecated("build_anvil_sweep()", 'Session.build("anvil_sweep")')
+    return REGISTRY.build("anvil_sweep", SimConfig(
+        engine=engine, seed=seed, stim=stim, backend=backend))

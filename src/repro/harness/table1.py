@@ -195,22 +195,28 @@ def _row(spec: dict, fast: bool, backend: str = "interp") -> Table1Row:
 
 
 def generate_table1(fast: bool = False, parallel=None,
-                    backend: str = "interp") -> List[Table1Row]:
+                    backend: str = None, config=None) -> List[Table1Row]:
     """Compute every row of Table 1.
 
     Rows are independent (each builds its own processes and simulators),
     so they run as one sweep on the batch runner (thread-based; see
-    :mod:`repro.rtl.batch` for the GIL caveat).  ``backend`` selects the
-    FSM execution backend of the activity simulations; results are
-    backend-independent (the backends are observationally identical),
-    only the wall-clock changes."""
+    :mod:`repro.rtl.batch` for the GIL caveat).  ``config`` (a
+    :class:`~repro.api.SimConfig` or :class:`~repro.api.Session`)
+    supplies the FSM execution backend of the activity simulations and
+    the batch pool size; the ``parallel``/``backend`` keywords survive
+    as a compatibility shim and win over the config when given.  Results
+    are backend-independent (the backends are observationally
+    identical), only the wall-clock changes."""
+    from ..api import resolve_config
     from ..rtl.batch import run_batch
 
+    cfg = resolve_config(config, parallel=parallel, backend=backend)
     specs = _spec_rows()
     results = run_batch(
-        [(spec["name"], (lambda spec=spec: _row(spec, fast, backend)))
+        [(spec["name"],
+          (lambda spec=spec: _row(spec, fast, cfg.backend)))
          for spec in specs],
-        parallel=parallel,
+        parallel=cfg.parallel,
     )
     return [results[spec["name"]] for spec in specs]
 

@@ -190,13 +190,18 @@ def case_core2axi_w_valid() -> Dict[str, object]:
     }
 
 
-def generate_table2(parallel=None,
-                    backend: str = "interp") -> Dict[str, Dict[str, object]]:
+def generate_table2(parallel=None, backend: str = None,
+                    config=None) -> Dict[str, Dict[str, object]]:
     """All five case studies plus the Section 7.2 stream-FIFO dynamic
-    comparison; independent, so run as a batch sweep.  ``backend``
-    selects the FSM execution backend of the dynamic case."""
+    comparison; independent, so run as a batch sweep.  ``config`` (a
+    :class:`~repro.api.SimConfig` or :class:`~repro.api.Session`)
+    supplies the FSM execution backend of the dynamic case and the pool
+    size; the ``parallel``/``backend`` keywords survive as a
+    compatibility shim and win over the config when given."""
+    from ..api import resolve_config
     from ..rtl.batch import run_batch
 
+    cfg = resolve_config(config, parallel=parallel, backend=backend)
     return run_batch(
         [
             ("opentitan", case_opentitan_entropy),
@@ -204,9 +209,10 @@ def generate_table2(parallel=None,
             ("ibex", case_ibex_instr_valid),
             ("snax", case_snax_alu_handshake),
             ("core2axi", case_core2axi_w_valid),
-            ("stream_fifo", lambda: stream_fifo_safety(backend=backend)),
+            ("stream_fifo",
+             lambda: stream_fifo_safety(backend=cfg.backend)),
         ],
-        parallel=parallel,
+        parallel=cfg.parallel,
     )
 
 

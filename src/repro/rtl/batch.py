@@ -85,27 +85,32 @@ class BatchSimulator:
         self.sims[sim.name] = sim
         return sim
 
-    def add_scenario(self, name: str, engine: str = "levelized",
-                     seed: int = 0, stim: int = None,
-                     backend: str = "interp", anvil: bool = False,
+    def add_scenario(self, name: str, config=None, *,
+                     engine: str = None, seed: int = None, stim: int = None,
+                     backend: str = None, anvil: bool = False,
                      as_name: str = None) -> Simulator:
-        """Build a harness scenario straight into the batch.
+        """Build a registered scenario straight into the batch.
 
-        ``backend`` selects the FSM execution backend of every compiled
-        Anvil process in the scenario (``"interp"`` or ``"pycompiled"``);
-        ``anvil=True`` picks the Anvil-only scenario set.  ``as_name``
-        renames the simulator, so the same scenario can be swept under
-        several engine x backend combinations in one batch."""
-        from ..harness.scenarios import (
-            DEFAULT_STIM,
-            build_anvil_scenario,
-            build_scenario,
-        )
+        The preferred form passes a :class:`~repro.api.SimConfig`
+        (``config``); lookup and elaboration go through the scenario
+        registry, the same code path the benchmark sweep, the harness
+        drivers and the CLI use.  The keyword arguments survive as a
+        compatibility shim over the config (an explicit keyword beats
+        the corresponding config field; ``config`` may also be a bare
+        engine string, the old second positional argument).
+        ``anvil=True`` maps a short family name to its ``anvil_*``
+        registry entry.  ``as_name`` renames the simulator, so the same
+        scenario can be swept under several engine x backend
+        combinations in one batch."""
+        from ..api import get_registry, resolve_config
 
-        builder = build_anvil_scenario if anvil else build_scenario
-        sim = builder(name, engine=engine, seed=seed,
-                      stim=DEFAULT_STIM if stim is None else stim,
-                      backend=backend)
+        if isinstance(config, str):      # legacy positional engine
+            config, engine = None, engine or config
+        cfg = resolve_config(config, engine=engine, seed=seed, stim=stim,
+                             backend=backend)
+        if anvil and not name.startswith("anvil_"):
+            name = f"anvil_{name}"
+        sim = get_registry().build(name, cfg)
         if as_name:
             sim.name = as_name
         return self.add(sim)

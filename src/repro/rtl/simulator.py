@@ -36,11 +36,15 @@ from .module import Module
 from .scheduler import CombScheduler
 from .waveform import Waveform
 
+#: the available settle engines, in (reference, default) order; the
+#: config layer (:mod:`repro.api`) validates against this tuple
+ENGINES = ("brute", "levelized")
+
 
 class Simulator:
     def __init__(self, name: str = "sim", max_settle_iters: int = 64,
                  engine: str = "levelized"):
-        if engine not in ("levelized", "brute"):
+        if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r} (use 'levelized' or 'brute')"
             )

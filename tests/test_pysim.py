@@ -8,23 +8,25 @@ import random
 
 import pytest
 
-from repro import Process, Side, System, build_simulation
+from repro import Process, Side, SimConfig, System, build_simulation, get_registry
 from repro.codegen import pysim
 from repro.codegen import rexpr as rx
 from repro.codegen.simfsm import compile_process
 from repro.core.fsmplan import build_process_plan, port_reads, port_writes
 from repro.errors import ContractViolationError
-from repro.harness.scenarios import (
-    ANVIL_SCENARIOS,
-    build_anvil_scenario,
-    build_anvil_sweep,
-    build_scenario,
-)
 from repro.lang.channels import ChannelDef, LifetimeSpec, MessageDef
 from repro.lang.terms import let, read, recv, send, set_reg, var
 from repro.lang.types import Logic
 
 BACKENDS = ("interp", "pycompiled")
+
+#: the compiled-only workloads, enumerated from the canonical registry
+ANVIL_SCENARIOS = get_registry().names("anvil", exclude="sweep")
+
+
+def _build(name, **config):
+    """Registry-backed scenario elaboration (the canonical code path)."""
+    return get_registry().build(name, SimConfig(**config))
 
 
 # ---------------------------------------------------------------------------
@@ -175,11 +177,10 @@ class TestBackendEquivalence:
     @pytest.mark.parametrize("name", sorted(ANVIL_SCENARIOS))
     @pytest.mark.parametrize("seed", [0, 11])
     def test_randomized_anvil_scenarios_bit_identical(self, name, seed):
-        cycles = 120 if name == "aes" else 300
+        cycles = 120 if name == "anvil_aes" else 300
         states = {}
         for backend in BACKENDS:
-            sim = build_anvil_scenario(name, seed=seed, stim=400,
-                                       backend=backend)
+            sim = _build(name, seed=seed, stim=400, backend=backend)
             sim.run(cycles)
             states[backend] = _state_of(sim)
         assert states["interp"] == states["pycompiled"]
@@ -190,7 +191,7 @@ class TestBackendEquivalence:
         activity must not depend on the backend."""
         states = {}
         for backend in BACKENDS:
-            sim = build_scenario(name, seed=5, stim=300, backend=backend)
+            sim = _build(name, seed=5, stim=300, backend=backend)
             sim.run(250)
             states[backend] = _state_of(sim)
         assert states["interp"] == states["pycompiled"]
@@ -200,8 +201,8 @@ class TestBackendEquivalence:
         states = {}
         for engine in ("brute", "levelized"):
             for backend in BACKENDS:
-                sim = build_anvil_sweep(engine=engine, seed=2, stim=150,
-                                        backend=backend)
+                sim = _build("anvil_sweep", engine=engine, seed=2,
+                             stim=150, backend=backend)
                 sim.run(60)
                 states[(engine, backend)] = _state_of(sim)
         baseline = states[("levelized", "interp")]

@@ -4,9 +4,21 @@ accounting, cache invalidation, and the batch runner."""
 
 import pytest
 
-from repro import BatchSimulator, Module, SimulationError, Simulator, run_batch
-from repro.harness.scenarios import SCENARIOS, build_scenario
+from repro import (
+    BatchSimulator,
+    Module,
+    SimConfig,
+    SimulationError,
+    Simulator,
+    get_registry,
+    run_batch,
+)
 from repro.rtl.testing import PortSink, PortSource, make_port
+
+
+def _build(name, **config):
+    """Registry-backed scenario elaboration (the canonical code path)."""
+    return get_registry().build(name, SimConfig(**config))
 
 
 class Inverter(Module):
@@ -92,7 +104,7 @@ class TestEquivalenceWithBruteForce:
         cycles = 400
         sims = {}
         for engine in ("brute", "levelized"):
-            sim = build_scenario(name, engine=engine, seed=seed, stim=500)
+            sim = _build(name, engine=engine, seed=seed, stim=500)
             sim.run(cycles)
             sims[engine] = sim
         brute, lev = sims["brute"], sims["levelized"]
@@ -103,7 +115,7 @@ class TestEquivalenceWithBruteForce:
     @pytest.mark.parametrize("name", ["streams", "memory", "pipeline"])
     def test_remaining_families_equivalent(self, name):
         sims = {
-            engine: build_scenario(name, engine=engine, seed=2, stim=400)
+            engine: _build(name, engine=engine, seed=2, stim=400)
             for engine in ("brute", "levelized")
         }
         for sim in sims.values():
@@ -204,7 +216,7 @@ class TestCacheInvalidation:
         assert all(len(g) == 1 for g in levels)
 
     def test_eval_counts_are_minimal_on_feed_forward_designs(self):
-        sim = build_scenario("mmu", engine="levelized", seed=0, stim=200)
+        sim = _build("mmu", engine="levelized", seed=0, stim=200)
         sim.run(100)
         sch = sim.scheduler
         # every module exactly once per cycle: the levelized floor
@@ -232,7 +244,7 @@ class TestBatchRunner:
     def test_batch_simulator_sweep(self):
         batch = BatchSimulator(parallel=2)
         for name in ("streams", "pipeline"):
-            batch.add(build_scenario(name, seed=1, stim=300))
+            batch.add(_build(name, seed=1, stim=300))
         batch.run(150)
         assert batch.cycles() == {"streams": 150, "pipeline": 150}
         acts = batch.total_activity()
