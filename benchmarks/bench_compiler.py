@@ -8,7 +8,6 @@ import pytest
 
 from repro.anvil_designs.aes import aes_core
 from repro.anvil_designs.axi import axi_demux, axi_mux
-from repro.anvil_designs.memory import cached_memory_process
 from repro.anvil_designs.mmu import ptw_process, tlb_process
 from repro.anvil_designs.pipeline import pipelined_alu, systolic_array
 from repro.anvil_designs.streams import (

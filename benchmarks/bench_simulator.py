@@ -1,4 +1,4 @@
-"""Before/after benchmark of the RTL simulation stack, on two axes.
+"""Before/after benchmark of the RTL simulation stack, on three axes.
 
 **Engine axis** (``Simulator(engine=...)``): the levelized, dirty-set
 scheduler against the seed's brute-force settle loop (kept verbatim:
@@ -13,6 +13,17 @@ Python by ``repro.codegen.pysim``) against the plan interpreter
 (``interp``) on the six *Anvil-only* scenarios -- the workloads that are
 almost entirely compiled-process execution -- plus their combined sweep,
 and the full engine x backend matrix on that sweep.
+
+**Executor axis** (``Session.sweep(executor=...)``): the declarative
+JobSpec sweep of all twelve scenario families (six mixed + six
+Anvil-only) under the ``serial``, ``thread`` and ``process`` executors
+of :mod:`repro.rtl.executors`.  Each job builds *and* runs its scenario
+inside the executor -- the harness-sweep shape -- so the ``process``
+row shows what real cores buy once jobs can cross the pickling
+boundary (the thread row documents the GIL tax instead).  The blob
+records ``cpu_count``: on a single-core box the process row can only
+demonstrate correctness, not speedup, and ``tools/check_bench.py``
+gates the multi-core floor conditionally on it.
 
 Every measurement cross-checks equivalence on both axes: the two
 variants must produce identical waveforms (the scenarios watch every
@@ -29,6 +40,7 @@ Run::
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -36,6 +48,7 @@ import time
 from repro.api import Session, SimConfig, get_registry
 from repro.codegen import pysim
 from repro.codegen.simfsm import BACKENDS
+from repro.rtl.executors import EXECUTORS
 from repro.rtl.simulator import ENGINES
 
 
@@ -99,6 +112,9 @@ def main(argv=None):
     ap.add_argument("--cycles", type=int, default=None,
                     help="measured cycles per scenario")
     ap.add_argument("--seed", type=int, default=3)
+    ap.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="forced worker count for the executor axis "
+                    "(default: auto = min(jobs, cores))")
     ap.add_argument("--no-check", action="store_true",
                     help="skip the waveform/activity equivalence checks")
     ap.add_argument("--json", metavar="PATH", default=None,
@@ -181,12 +197,50 @@ def main(argv=None):
         print(f"{engine:12s} " + " ".join(
             f"{matrix[f'{engine}/{b}']:12.0f}" for b in BACKENDS))
 
+    # -- executor axis: the 12-family sweep as declarative JobSpecs ------
+    print("\n== executor axis: 12-family sweep, build+run per job "
+          "(levelized/pycompiled) ==")
+    sweep_names = (registry.names("rtl", exclude="sweep")
+                   + registry.names("anvil", exclude="sweep"))
+    # full per-family cycle counts: each job must carry enough work to
+    # amortize pool spawn + result IPC, or the axis only measures
+    # overhead (the recorded cpu_count tells small boxes apart)
+    exec_session = Session(base_cfg.replace(backend="pycompiled"))
+    executor_rows = {}
+    reference_state = None
+    for executor in EXECUTORS:
+        t0 = time.perf_counter()
+        results = exec_session.sweep(sweep_names, executor=executor,
+                                     jobs=args.jobs)
+        wall = time.perf_counter() - t0
+        state = {n: (r.activity, r.waveform.samples)
+                 for n, r in results.items()}
+        if reference_state is None:
+            reference_state = state
+        executor_rows[executor] = {
+            "seconds": wall,
+            "equivalent": (state == reference_state) if check else None,
+        }
+    serial_wall = executor_rows["serial"]["seconds"]
+    print(f"{'executor':10s} {'seconds':>9} {'vs serial':>10}  equal")
+    for executor, row in executor_rows.items():
+        row["speedup_vs_serial"] = (serial_wall / row["seconds"]
+                                    if row["seconds"] else 0.0)
+        eq = {True: "yes", False: "NO", None: "-"}[row["equivalent"]]
+        print(f"{executor:10s} {row['seconds']:9.3f} "
+              f"{row['speedup_vs_serial']:9.2f}x  {eq}")
+    cpu_count = os.cpu_count() or 1
+    print(f"(cpu_count={cpu_count}, jobs={args.jobs or 'auto'}; the "
+          f"process row needs >1 core to beat serial)")
+
     stats = pysim.cache_stats()
     print(f"\npysim compile cache: {stats['hits']} hits, "
           f"{stats['misses']} misses, {stats['entries']} entries")
 
     ok = (all(r["equivalent"] for r in engine_rows)
-          and all(r["equivalent"] for r in backend_rows))
+          and all(r["equivalent"] for r in backend_rows)
+          and all(r["equivalent"] is not False
+                  for r in executor_rows.values()))
 
     if args.json:
         blob = {
@@ -204,6 +258,14 @@ def main(argv=None):
             "sim_config": base_cfg.to_dict(),
             "engine_axis": engine_rows,
             "backend_axis": backend_rows,
+            "executor_axis": {
+                "cpu_count": cpu_count,
+                "jobs": args.jobs,
+                "cycles": cycles,
+                "backend": "pycompiled",
+                "scenarios": sweep_names,
+                "executors": executor_rows,
+            },
             "anvil_sweep_matrix": matrix,
             "pysim_cache": stats,
             # null (not true) when --no-check skipped the comparisons,

@@ -35,16 +35,21 @@ from typing import Dict, List, Optional
 
 from .api import Session, SimConfig, UnknownScenarioError, get_registry
 from .codegen.simfsm import BACKENDS
+from .rtl.executors import EXECUTORS
 from .rtl.simulator import ENGINES
 
 #: every field of the shared option layer; subcommands that consume
 #: only part of the config expose only that part, so the echoed
 #: ``--json`` config never claims knobs the run ignored
-ALL_FIELDS = ("engine", "backend", "parallel", "seed", "cycles", "stim",
-              "trace")
+ALL_FIELDS = ("engine", "backend", "parallel", "executor", "jobs", "seed",
+              "cycles", "stim", "trace")
+#: a single scenario run has no sweep to execute, so it neither takes
+#: nor echoes the executor knobs
+RUN_FIELDS = tuple(f for f in ALL_FIELDS
+                   if f not in ("executor", "jobs", "parallel"))
 #: what the harness drivers actually thread through (appendix-a keeps
 #: its own serial-by-design parallel knob, so it exposes backend only)
-HARNESS_FIELDS = ("backend", "parallel")
+HARNESS_FIELDS = ("backend", "parallel", "executor", "jobs")
 
 
 # ---------------------------------------------------------------------------
@@ -63,6 +68,15 @@ def _add_config_options(parser: argparse.ArgumentParser,
     if "parallel" in fields:
         g.add_argument("--parallel", type=int, default=None, metavar="N",
                        help="batch pool size; 0 forces serial "
+                            "(default: auto)")
+    if "executor" in fields:
+        g.add_argument("--executor", choices=EXECUTORS, default=None,
+                       help="sweep execution strategy: serial, thread "
+                            "(default) or process (multi-core pool of "
+                            "picklable JobSpecs)")
+    if "jobs" in fields:
+        g.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="forced executor worker count "
                             "(default: auto)")
     if "seed" in fields:
         g.add_argument("--seed", type=int, default=None,
@@ -85,7 +99,8 @@ def _add_config_options(parser: argparse.ArgumentParser,
 
 def _config_from(args: argparse.Namespace) -> SimConfig:
     overrides: Dict[str, object] = {}
-    for field in ("engine", "backend", "seed", "cycles", "stim"):
+    for field in ("engine", "backend", "executor", "jobs", "seed",
+                  "cycles", "stim"):
         value = getattr(args, field, None)
         if value is not None:
             overrides[field] = value
@@ -187,11 +202,14 @@ def cmd_bench(args) -> int:
     session = Session(config)
     rows = session.bench(args.scenarios or None, tag=args.tag,
                          warmup=args.warmup, repeats=args.repeats,
-                         check=not args.no_check)
+                         check=not args.no_check,
+                         # the raw CLI value: bench defaults to serial
+                         # measurement unless an executor is requested
+                         executor=args.executor, jobs=args.jobs)
     if args.json:
         _emit_json(args, _wrap(args, rows))
     else:
-        base = f"brute/interp"
+        base = "brute/interp"
         conf = f"{config.engine}/{config.backend}"
         print(f"{'scenario':18s} {base + ' c/s':>16} {conf + ' c/s':>22} "
               f"{'speedup':>8}  equal")
@@ -297,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("scenario", help="a registry name (see list-scenarios)")
     p.add_argument("--activity", action="store_true",
                    help="include per-wire toggle counts in --json output")
-    _add_config_options(p)
+    _add_config_options(p, fields=RUN_FIELDS)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("sweep", help="run scenarios as one batch sweep")
@@ -347,9 +365,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        # surface environment-variable garbage before any work starts
+        from .rtl.batch import _env_parallel
+        _env_parallel()
         args.sim_config = _config_from(args)
     except ValueError as exc:
-        # SimConfig validation errors are user-input errors
+        # SimConfig/environment validation errors are user-input errors
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:

@@ -14,16 +14,10 @@ from __future__ import annotations
 from typing import List
 
 from ..designs.aes import (
-    GMUL9,
-    GMUL11,
-    GMUL13,
-    GMUL14,
     INV_SBOX,
-    OP_DECRYPT,
     RCON,
     REQ_WIDTH,
     SBOX,
-    XTIME,
 )
 from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
 from ..lang.process import Process

@@ -28,7 +28,6 @@ from ..lang.terms import (
     var,
 )
 from ..lang.types import Logic
-from ..designs.pipeline import ALU_OPS
 
 
 def static_channel(name: str, width: int) -> ChannelDef:

@@ -22,11 +22,9 @@ from ..lang.terms import (
     mux,
     par,
     read,
-    send,
     set_reg,
     try_recv,
     try_send,
-    unit,
     var,
 )
 from ..lang.types import Logic

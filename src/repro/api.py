@@ -39,12 +39,14 @@ from __future__ import annotations
 
 import dataclasses
 import difflib
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .codegen.simfsm import BACKENDS
-from .rtl.batch import BatchSimulator
+from .rtl.batch import BatchSimulator, run_batch
+from .rtl.executors import EXECUTORS, JobSpec, ScenarioRun
 from .rtl.simulator import ENGINES, Simulator
 from .rtl.waveform import Waveform
 
@@ -69,6 +71,15 @@ class SimConfig:
     ``parallel``
         batch-runner pool size: ``None`` auto, ``False`` serial, an int
         forces a worker count (see :mod:`repro.rtl.batch`);
+    ``executor``
+        sweep execution strategy (:data:`repro.rtl.executors.EXECUTORS`):
+        ``serial``, ``thread`` (the compatibility reference and default)
+        or ``process`` (picklable JobSpecs on a multi-core process
+        pool).  ``None`` resolves to ``$REPRO_EXECUTOR`` when set, else
+        ``thread``;
+    ``jobs``
+        forced executor worker count (``None`` -> auto; the modern
+        spelling of an integer ``parallel``);
     ``seed``
         stimulus RNG seed -- builders are deterministic in it;
     ``cycles``
@@ -82,12 +93,30 @@ class SimConfig:
     engine: str = "levelized"
     backend: str = "interp"
     parallel: Parallel = None
+    executor: Optional[str] = None
+    jobs: Optional[int] = None
     seed: int = 0
     cycles: int = 1000
     stim: Optional[int] = None
     trace: bool = False
 
     def __post_init__(self):
+        if self.executor is None:
+            env = os.environ.get("REPRO_EXECUTOR")
+            object.__setattr__(self, "executor", env or "thread")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}: known executors "
+                f"are {_choices(EXECUTORS)} (did REPRO_EXECUTOR leak a "
+                f"typo?)"
+            )
+        if self.jobs is not None and (
+                not isinstance(self.jobs, int) or isinstance(self.jobs, bool)
+                or self.jobs < 1):
+            raise ValueError(
+                f"jobs must be a positive int worker count or None, "
+                f"got {self.jobs!r}"
+            )
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}: known engines are "
@@ -158,6 +187,14 @@ def resolve_config(config: Union["SimConfig", "Session", None] = None,
         )
     overrides = {k: v for k, v in overrides.items() if v is not None}
     return cfg.replace(**overrides) if overrides else cfg
+
+
+def pool_args(cfg: SimConfig) -> Dict[str, object]:
+    """The ``run_batch`` keyword arguments one config implies: ``jobs``
+    (the forced worker count) wins over the legacy ``parallel`` knob,
+    and the executor rides along."""
+    parallel = cfg.jobs if cfg.jobs is not None else cfg.parallel
+    return {"parallel": parallel, "executor": cfg.executor}
 
 
 # ---------------------------------------------------------------------------
@@ -359,6 +396,41 @@ def _result_of(name: str, config: SimConfig, sim: Simulator,
     )
 
 
+def _result_from_scenario_run(config: SimConfig, run: ScenarioRun,
+                              seconds: float,
+                              extra_diagnostics: Optional[Dict[str, object]]
+                              = None) -> RunResult:
+    """Lift an executor job's :class:`~repro.rtl.executors.ScenarioRun`
+    into a :class:`RunResult`.  When the job ran in-process the live
+    simulator and its waveform come along; a run shipped back from a
+    worker process carries the sampled waveform data only."""
+    if run.sim is not None:
+        waveform = run.sim.waveform
+    else:
+        waveform = Waveform()
+        waveform.samples = {k: list(v) for k, v in run.samples.items()}
+    diagnostics = {
+        "engine": run.engine,
+        "modules": run.modules,
+        "watched_signals": run.watched,
+        "final_cycle": run.final_cycle,
+        "job_seconds": run.seconds,
+    }
+    diagnostics.update(extra_diagnostics or {})
+    return RunResult(
+        scenario=run.scenario,
+        config=config,
+        cycles=run.cycles,
+        total_activity=run.total_activity,
+        activity=dict(run.activity),
+        waveform=waveform,
+        seconds=seconds,
+        trace=run.trace,
+        diagnostics=diagnostics,
+        sim=run.sim,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Session
 # ---------------------------------------------------------------------------
@@ -417,31 +489,45 @@ class Session:
         """A :class:`~repro.rtl.batch.BatchSimulator` holding the named
         (or tag-selected) scenarios, ready to step as one sweep."""
         cfg = resolve_config(self.config, **overrides)
-        batch = BatchSimulator(parallel=cfg.parallel)
+        batch = BatchSimulator(
+            parallel=cfg.jobs if cfg.jobs is not None else cfg.parallel,
+            executor=cfg.executor)
         for name in self._select(scenarios, tag):
-            batch.add(self.registry.build(name, cfg))
+            batch.add_scenario(name, cfg)
         return batch
 
     def sweep(self, scenarios: Optional[Sequence[str]] = None,
               tag: Optional[str] = None, cycles: Optional[int] = None,
               **overrides) -> Dict[str, RunResult]:
-        """Run many scenarios as one batch sweep (built via
-        :meth:`batch`).
+        """Run many scenarios as one executor sweep.
+
+        Every selected scenario becomes one declarative
+        :class:`~repro.rtl.executors.JobSpec` (``run_scenario``), and
+        the whole list runs on the configured executor -- ``thread`` by
+        default, ``process`` for real multi-core sweeps (workers build
+        and run each scenario from its registry description, so nothing
+        unpicklable crosses the pool boundary).
 
         Returns results keyed by scenario name in selection order; each
         result's ``seconds`` is the wall-clock of the whole sweep (the
-        scenarios run concurrently on the batch pool, so per-scenario
-        timing is not separable).
+        scenarios run concurrently, so per-scenario wall-clock is not
+        separable -- ``diagnostics["job_seconds"]`` has each job's own
+        run-phase timing).
         """
         cfg = resolve_config(self.config, cycles=cycles, **overrides)
-        batch = self.batch(scenarios, tag, cycles=cycles, **overrides)
+        names = self._select(scenarios, tag)
+        specs = [
+            JobSpec(kind="run_scenario", name=name, scenario=name,
+                    config=cfg)
+            for name in names
+        ]
         t0 = time.perf_counter()
-        batch.run(cfg.cycles)
+        runs = run_batch(specs, **pool_args(cfg))
         elapsed = time.perf_counter() - t0
         return {
-            name: _result_of(name, cfg, batch[name], cfg.cycles, elapsed,
-                             {"sweep_size": len(batch)})
-            for name in batch.sims
+            name: _result_from_scenario_run(
+                cfg, runs[name], elapsed, {"sweep_size": len(names)})
+            for name in names
         }
 
     # -- benchmarking --------------------------------------------------
@@ -449,7 +535,8 @@ class Session:
               tag: Optional[str] = None, *, cycles: Optional[int] = None,
               warmup: int = 20, repeats: int = 1,
               baseline: Optional[SimConfig] = None,
-              check: bool = True) -> List[Dict[str, object]]:
+              check: bool = True, executor: Optional[str] = None,
+              jobs: Optional[int] = None) -> List[Dict[str, object]]:
         """Measure this config against a baseline config per scenario.
 
         The baseline defaults to the reference pair (``brute`` engine,
@@ -457,36 +544,44 @@ class Session:
         reads as "what the configured fast paths buy".  Each row carries
         cycles/second for both configs, the speedup, and (when ``check``)
         waveform/activity equivalence between the two runs.
+
+        Every (scenario, config) measurement is one ``bench_scenario``
+        :class:`~repro.rtl.executors.JobSpec`.  The measurement executor
+        defaults to ``serial`` regardless of the session config --
+        timing jobs interleaved under the GIL would corrupt each other's
+        cycles/second -- and must be requested explicitly (``process``
+        isolates measurements in their own workers and is the sensible
+        concurrent choice).
         """
         cfg = resolve_config(self.config, cycles=cycles)
         base = baseline or cfg.replace(engine="brute", backend="interp")
         names = self._select(scenarios, tag)
+        specs = [
+            JobSpec(kind="bench_scenario", name=f"{name}:{label}",
+                    scenario=name, config=variant, cycles=cfg.cycles,
+                    params=(("warmup", warmup), ("repeats", repeats)))
+            for name in names
+            for label, variant in (("baseline", base), ("configured", cfg))
+        ]
+        pool = jobs if jobs is not None else cfg.jobs
+        runs = run_batch(specs, parallel=pool if pool is not None
+                         else cfg.parallel,
+                         executor=executor or "serial")
         rows = []
         for name in names:
-            pair = {}
-            for label, c in (("baseline", base), ("configured", cfg)):
-                best, sim = 0.0, None
-                for _ in range(max(repeats, 1)):
-                    sim = self.registry.build(name, c)
-                    sim.run(warmup)
-                    t0 = time.perf_counter()
-                    sim.run(cfg.cycles)
-                    best = max(best, cfg.cycles / (time.perf_counter() - t0))
-                pair[label] = (best, sim)
-            (b_cps, b_sim), (c_cps, c_sim) = pair["baseline"], \
-                pair["configured"]
+            b, c = runs[f"{name}:baseline"], runs[f"{name}:configured"]
             equivalent = True
             if check:
-                equivalent = (b_sim.activity == c_sim.activity
-                              and b_sim.waveform.samples
-                              == c_sim.waveform.samples)
+                equivalent = (b.activity == c.activity
+                              and b.samples == c.samples)
             rows.append({
                 "scenario": name,
                 "baseline": {"config": base.to_dict(),
-                             "cycles_per_second": b_cps},
+                             "cycles_per_second": b.cycles_per_second},
                 "configured": {"config": cfg.to_dict(),
-                               "cycles_per_second": c_cps},
-                "speedup": c_cps / b_cps if b_cps else 0.0,
+                               "cycles_per_second": c.cycles_per_second},
+                "speedup": (c.cycles_per_second / b.cycles_per_second
+                            if b.cycles_per_second else 0.0),
                 "equivalent": equivalent if check else None,
             })
         return rows
@@ -505,9 +600,14 @@ class Session:
         from .harness.figures import generate_figures
         return generate_figures(config=self.config)
 
-    def appendix_a(self, fast: bool = False) -> Dict[str, object]:
+    def appendix_a(self, fast: bool = False,
+                   executor: Optional[str] = None) -> Dict[str, object]:
+        """Appendix A under this session's backend.  ``executor`` is the
+        driver's own knob (serial by default; see
+        :func:`repro.harness.appendix_a.appendix_a` for why the session
+        executor is deliberately not consulted)."""
         from .harness.appendix_a import appendix_a
-        return appendix_a(config=self.config, fast=fast)
+        return appendix_a(config=self.config, fast=fast, executor=executor)
 
     def __repr__(self):
         return f"Session({self.config!r})"

@@ -10,7 +10,7 @@ discharges statically (Figure 2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 
 class TimingContractMonitor:

@@ -41,10 +41,8 @@ from ..core.events import EventKind, SyncDir
 from ..core.fsmplan import (
     CommitExpr,
     CommitFlag,
-    CommitPrint,
     CommitRecv,
     CommitReg,
-    LatchExpr,
     LatchFlag,
     LatchRecv,
     ProcessPlan,

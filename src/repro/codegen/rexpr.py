@@ -14,9 +14,9 @@ equivalent to the wire semantics of the generated hardware.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
-from ..lang.types import Bundle, DataType, Logic
+from ..lang.types import Bundle
 
 
 def mask(value: int, width: int) -> int:

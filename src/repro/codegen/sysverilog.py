@@ -22,8 +22,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core.events import (
-    DebugPrintAction,
-    EventGraph,
     EventKind,
     RecvBindAction,
     RegWriteAction,
@@ -199,7 +197,7 @@ def emit_process(process: Process, compiled: Optional[CompiledProcess] = None
             direction = "output" if spec.direction == "output" else "input "
             rng = f"[{spec.width - 1}:0] " if spec.width > 1 else ""
             port_decls.append(f"{direction} logic {rng}{spec.name}")
-    w(f"// Generated by the Anvil reproduction compiler")
+    w("// Generated by the Anvil reproduction compiler")
     w(f"module {process.name} (")
     w(",\n".join(f"  {p}" for p in port_decls))
     w(");")
@@ -316,25 +314,25 @@ def emit_process(process: Process, compiled: Optional[CompiledProcess] = None
         w("")
 
         # sequential state ---------------------------------------------------
-        w(f"  always_ff @(posedge clk_i or negedge rst_ni) begin")
-        w(f"    if (!rst_ni) begin")
+        w("  always_ff @(posedge clk_i or negedge rst_ni) begin")
+        w("    if (!rst_ni) begin")
         w(f"      t{ti}_boot_q <= 1'b1;")
         for ev in g.events:
             w(f"      {names.fired_q(ev.eid)} <= 1'b0;")
             if ev.kind is EventKind.DELAY and ev.delay > 1:
                 w(f"      {names.cnt(ev.eid)} <= '0;")
-        w(f"    end else begin")
+        w("    end else begin")
         w(f"      t{ti}_boot_q <= 1'b0;")
         w(f"      if ({anchor_fire}) begin")
         for ev in g.events:
             w(f"        {names.fired_q(ev.eid)} <= 1'b0;")
-        w(f"      end else begin")
+        w("      end else begin")
         for ev in g.events:
             w(
                 f"        if ({names.fire(ev.eid)}) "
                 f"{names.fired_q(ev.eid)} <= 1'b1;"
             )
-        w(f"      end")
+        w("      end")
         for ev in g.events:
             if ev.kind is EventKind.DELAY and ev.delay > 1:
                 preds_done2 = " & ".join(
@@ -343,12 +341,12 @@ def emit_process(process: Process, compiled: Optional[CompiledProcess] = None
                 cnt = names.cnt(ev.eid)
                 w(f"      if ({names.fire(ev.eid)}) {cnt} <= '0;")
                 w(f"      else if ({preds_done2}) {cnt} <= {cnt} + 1'b1;")
-        w(f"    end")
-        w(f"  end")
+        w("    end")
+        w("  end")
         w("")
 
         # action registers ----------------------------------------------------
-        w(f"  always_ff @(posedge clk_i) begin")
+        w("  always_ff @(posedge clk_i) begin")
         for ev in g.events:
             for act in ev.actions:
                 if isinstance(act, RegWriteAction):
@@ -376,7 +374,7 @@ def emit_process(process: Process, compiled: Optional[CompiledProcess] = None
                         f"{names.slot_q(act.slot)} <= "
                         f"{_sv_expr(act.source, names)};"
                     )
-        w(f"  end")
+        w("  end")
         w("")
 
         # slot bypass wires: same-cycle visibility of latched data

@@ -29,7 +29,6 @@ from ..lang.types import Bundle, DataType, Logic
 from .events import (
     Action,
     DebugPrintAction,
-    Event,
     EventGraph,
     EventKind,
     RecvBindAction,
@@ -39,7 +38,7 @@ from .events import (
     SyncFlagAction,
     SyncGuardAction,
 )
-from .patterns import Duration, EndSet, EventPattern
+from .patterns import Duration, EndSet
 
 
 def _static_slack(msg) -> Optional[int]:

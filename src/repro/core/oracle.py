@@ -33,7 +33,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .events import EventGraph, EventKind
 from .maxplus import MaxExpr, MinExpr
-from .patterns import Duration, EndSet, EventPattern
+from .patterns import EndSet, EventPattern
 
 Case = Tuple[Tuple[int, bool], ...]
 

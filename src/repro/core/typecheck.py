@@ -36,7 +36,7 @@ from ..errors import (
     TypeCheckError,
     ValueNotLiveError,
 )
-from ..lang.process import Process, Thread
+from ..lang.process import Process
 from .graph_builder import BuildResult, GraphBuilder, UseCheck
 from .oracle import OracleLimitError, TimingOracle
 from .patterns import EndSet

@@ -13,7 +13,7 @@ test (validated against the FIPS-197 vectors).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..codegen.simfsm import MessagePort
 from ..rtl.module import Module

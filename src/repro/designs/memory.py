@@ -8,7 +8,6 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..codegen.simfsm import MessagePort
 from ..rtl.module import Module
-from ..rtl.signal import Wire
 
 
 def default_contents(addr: int) -> int:

@@ -5,7 +5,7 @@ Filament).  Fixed latency 2, initiation interval 1.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 from ..codegen.simfsm import MessagePort
 from ..rtl.module import Module

@@ -10,7 +10,7 @@ triplets, so they co-simulate directly against compiled Anvil processes.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..codegen.simfsm import MessagePort
 from ..rtl.module import Module

@@ -21,11 +21,7 @@ from ..errors import ValueNotLiveError
 from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
 from ..lang.process import Process
 from ..lang.terms import (
-    cycle,
-    dprint,
-    if_,
     let,
-    lit,
     read,
     recv,
     send,
@@ -34,6 +30,7 @@ from ..lang.terms import (
     var,
 )
 from ..lang.types import Logic
+from ..rtl.executors import JobSpec, job_kind
 from ..verif import Assertion, BoundedModelChecker, TransitionSystem
 
 
@@ -182,8 +179,21 @@ def verification_side(max_depth: int = 2000, max_states: int = 60_000,
     }
 
 
+@job_kind("appendix_anvil")
+def _appendix_anvil_job(spec: JobSpec) -> Dict[str, object]:
+    """The language side, on the config's FSM execution backend."""
+    return anvil_side(backend=spec.config.backend)
+
+
+@job_kind("appendix_bmc")
+def _appendix_bmc_job(spec: JobSpec) -> Dict[str, object]:
+    """One bounded-model-checking side; budgets ride in the params."""
+    return verification_side(**dict(spec.param("budgets")))
+
+
 def appendix_a(parallel: bool = False, backend: str = None,
-               config=None, fast: bool = False) -> Dict[str, object]:
+               config=None, fast: bool = False,
+               executor: str = None) -> Dict[str, object]:
     """The full comparison.
 
     ``config`` (a :class:`~repro.api.SimConfig` or
@@ -191,13 +201,17 @@ def appendix_a(parallel: bool = False, backend: str = None,
     the simulated Anvil side; the ``backend`` keyword survives as a
     compatibility shim and wins when given.
 
-    ``parallel`` is this driver's own knob (never taken from the
-    config) and stays ``False`` by default, the only setting whose
-    output is meaningful: the BMC sides run against *wall-clock* time
-    budgets, so GIL contention under ``parallel=True`` starves them of
-    explored states per second and can flip the budget-bounded verdicts
-    themselves (e.g. the reduced-width case failing to reach its
-    violation on a slow runner), not just skew the reported seconds.
+    ``parallel``/``executor`` are this driver's own knobs (never taken
+    from the config) and default to a *serial* run, the only in-process
+    setting whose output is meaningful: the BMC sides run against
+    *wall-clock* time budgets, so GIL contention under the thread
+    executor starves them of explored states per second and can flip
+    the budget-bounded verdicts themselves (e.g. the reduced-width case
+    failing to reach its violation on a slow runner), not just skew the
+    reported seconds.  ``executor="process"`` is the one concurrent
+    setting that preserves the verdicts -- each side owns a whole
+    worker process, so nothing shares its GIL (budgets still assume the
+    workers get real cores).
 
     ``fast=True`` shrinks the BMC budgets for CI/CLI smoke runs while
     preserving the qualitative outcome (full width exhausts its budget
@@ -212,17 +226,21 @@ def appendix_a(parallel: bool = False, backend: str = None,
     if fast:
         full_kw.update(time_budget=0.5, max_states=8_000, max_depth=300)
         reduced_kw.update(time_budget=2.0, max_states=200_000)
-    return run_batch(
-        [
-            ("anvil", lambda: anvil_side(backend=cfg.backend)),
-            # full-size counter: the BMC burns its budget without the
-            # violation
-            ("bmc_full_width",
-             lambda: verification_side(**full_kw)),
-            # shrunk counter (what a verification engineer must do by
-            # hand): now the violation is reachable within budget
-            ("bmc_reduced_width",
-             lambda: verification_side(**reduced_kw)),
-        ],
-        parallel=parallel,
-    )
+    jobs = [
+        JobSpec(kind="appendix_anvil", name="anvil", config=cfg),
+        # full-size counter: the BMC burns its budget without the
+        # violation
+        JobSpec(kind="appendix_bmc", name="bmc_full_width",
+                params=(("budgets", tuple(full_kw.items())),)),
+        # shrunk counter (what a verification engineer must do by
+        # hand): now the violation is reachable within budget
+        JobSpec(kind="appendix_bmc", name="bmc_reduced_width",
+                params=(("budgets", tuple(reduced_kw.items())),)),
+    ]
+    if executor is None:
+        executor = "thread" if parallel else "serial"
+    # an explicit process request overrides the serial-by-default
+    # parallel knob -- worker processes do not contend on the GIL
+    return run_batch(jobs,
+                     parallel=None if executor == "process" else parallel,
+                     executor=executor)

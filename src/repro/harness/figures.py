@@ -4,7 +4,6 @@ event graph), 8 (event-graph optimizations)."""
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Tuple
 
 from ..bsv import Rule, RuleScheduler, RuleState, TimingContractMonitor
@@ -26,6 +25,7 @@ from ..lang.terms import (
     var,
 )
 from ..lang.types import Logic
+from ..rtl.executors import JobSpec, job_kind
 from ..rtl.simulator import Simulator
 
 
@@ -138,7 +138,6 @@ def figure2_bsv(cycles: int = 24) -> Dict[str, object]:
 def figure2_anvil() -> Dict[str, object]:
     """The same three designs in Anvil: two rejected statically with the
     paper's exact error classes, the registered version accepted."""
-    from ..errors import LoanedRegisterMutationError, ValueNotLiveError
     from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
 
     cache_ch = ChannelDef("cache_ch", [
@@ -241,7 +240,6 @@ def figure4(addresses=None, cycles: int = 200,
 # ---------------------------------------------------------------------------
 def figure5() -> Dict[str, object]:
     """Derived action sequences + contract checks for Top_Unsafe/Top_Safe."""
-    import sys as _sys
     from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
 
     mem_ch = ChannelDef("mem_ch", [
@@ -343,31 +341,51 @@ def figure6() -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 # Figure 8
 # ---------------------------------------------------------------------------
+#: figure name -> harness function; the declarative surface the
+#: ``figure`` job kind dispatches on (figure 4 simulates compiled
+#: processes and therefore consumes the config's backend)
+FIGURES = {
+    "figure1": figure1,
+    "figure2_bsv": figure2_bsv,
+    "figure2_anvil": figure2_anvil,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+}
+
+
+@job_kind("figure")
+def _figure_job(spec: JobSpec) -> Dict[str, object]:
+    """Run one named figure harness (any executor)."""
+    name = spec.param("figure")
+    if name == "figure4":
+        return figure4(backend=spec.config.backend)
+    if name == "figure8":
+        return figure8()       # defined below FIGURES; looked up lazily
+    return FIGURES[name]()
+
+
 def generate_figures(parallel=None, backend: str = None,
                      config=None) -> Dict[str, object]:
-    """Every figure harness as one batch sweep (each figure builds its
-    own simulators/processes, so the jobs are independent; thread-based,
-    see :mod:`repro.rtl.batch` for the GIL caveat).  ``config`` (a
+    """Every figure harness as one sweep of declarative ``figure``
+    :class:`~repro.rtl.executors.JobSpec` jobs (each figure builds its
+    own simulators/processes, so the jobs are independent; the
+    ``process`` executor runs them on real cores, ``thread`` remains the
+    GIL-bound compatibility reference).  ``config`` (a
     :class:`~repro.api.SimConfig` or :class:`~repro.api.Session`)
     supplies the FSM execution backend wherever a figure simulates a
-    compiled process (figure 4) and the pool size; the
+    compiled process (figure 4), the executor and the pool size; the
     ``parallel``/``backend`` keywords survive as a compatibility shim
     and win over the config when given."""
-    from ..api import resolve_config
+    from ..api import pool_args, resolve_config
     from ..rtl.batch import run_batch
 
     cfg = resolve_config(config, parallel=parallel, backend=backend)
     return run_batch(
-        [
-            ("figure1", figure1),
-            ("figure2_bsv", figure2_bsv),
-            ("figure2_anvil", figure2_anvil),
-            ("figure4", lambda: figure4(backend=cfg.backend)),
-            ("figure5", figure5),
-            ("figure6", figure6),
-            ("figure8", figure8),
-        ],
-        parallel=cfg.parallel,
+        [JobSpec(kind="figure", name=name, config=cfg,
+                 params=(("figure", name),))
+         for name in [*FIGURES, "figure8"]],
+        **pool_args(cfg),
     )
 
 

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import random
 import warnings
-from typing import Callable, Dict, List
+from typing import Callable, Dict
 
 from ..api import REGISTRY, SimConfig
 from ..codegen.simfsm import MessagePort, build_simulation
@@ -52,7 +52,7 @@ from ..designs.axi import (
     RegFileSlave,
 )
 from ..designs.memory import CachedMemory, HandshakeMemory
-from ..designs.mmu import ROOT_BASE, PageTableWalker, Tlb, build_page_table
+from ..designs.mmu import PageTableWalker, Tlb, build_page_table
 from ..designs.pipeline import PipelinedAlu, SystolicArray2x2, alu_pack
 from ..designs.streams import FifoBuffer, PassthroughStreamFifo, SpillRegister
 from ..lang.process import System

@@ -12,17 +12,16 @@ For every design the harness:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple, Optional
+from typing import List, NamedTuple
 
 from ..anvil_designs import axi as anv_axi
-from ..anvil_designs import memory as anv_memory
 from ..anvil_designs import mmu as anv_mmu
 from ..anvil_designs import pipeline as anv_pipeline
 from ..anvil_designs import streams as anv_streams
 from ..anvil_designs.aes import aes_core
 from ..codegen.simfsm import build_simulation, compile_process
 from ..lang.process import System
-from ..rtl.testing import PortSink, PortSource
+from ..rtl.executors import JobSpec, job_kind
 from ..synth import baselines, estimate_compiled
 from ..synth.cost import CostReport
 
@@ -194,29 +193,42 @@ def _row(spec: dict, fast: bool, backend: str = "interp") -> Table1Row:
     )
 
 
+@job_kind("table1_row")
+def _table1_row_job(spec: JobSpec) -> Table1Row:
+    """Recompute one Table 1 row from its declarative description --
+    the row index into :func:`_spec_rows` plus the config's backend --
+    so the job ships to any executor, including the process pool."""
+    rows = _spec_rows()
+    return _row(rows[spec.param("index")], spec.param("fast", False),
+                spec.config.backend)
+
+
 def generate_table1(fast: bool = False, parallel=None,
                     backend: str = None, config=None) -> List[Table1Row]:
     """Compute every row of Table 1.
 
     Rows are independent (each builds its own processes and simulators),
-    so they run as one sweep on the batch runner (thread-based; see
-    :mod:`repro.rtl.batch` for the GIL caveat).  ``config`` (a
-    :class:`~repro.api.SimConfig` or :class:`~repro.api.Session`)
-    supplies the FSM execution backend of the activity simulations and
-    the batch pool size; the ``parallel``/``backend`` keywords survive
-    as a compatibility shim and win over the config when given.  Results
-    are backend-independent (the backends are observationally
-    identical), only the wall-clock changes."""
-    from ..api import resolve_config
+    so each becomes one declarative ``table1_row``
+    :class:`~repro.rtl.executors.JobSpec` -- an index into the row spec
+    table plus the resolved config -- and the list runs as one sweep on
+    the configured executor (``process`` buys real multi-core speedup;
+    ``thread`` remains the GIL-bound compatibility reference).
+    ``config`` (a :class:`~repro.api.SimConfig` or
+    :class:`~repro.api.Session`) supplies the FSM execution backend of
+    the activity simulations, the executor and the pool size; the
+    ``parallel``/``backend`` keywords survive as a compatibility shim
+    and win over the config when given.  Results are backend- and
+    executor-independent, only the wall-clock changes."""
+    from ..api import pool_args, resolve_config
     from ..rtl.batch import run_batch
 
     cfg = resolve_config(config, parallel=parallel, backend=backend)
     specs = _spec_rows()
     results = run_batch(
-        [(spec["name"],
-          (lambda spec=spec: _row(spec, fast, cfg.backend)))
-         for spec in specs],
-        parallel=cfg.parallel,
+        [JobSpec(kind="table1_row", name=spec["name"], config=cfg,
+                 params=(("index", i), ("fast", fast)))
+         for i, spec in enumerate(specs)],
+        **pool_args(cfg),
     )
     return [results[spec["name"]] for spec in specs]
 

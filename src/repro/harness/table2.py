@@ -11,13 +11,11 @@ from __future__ import annotations
 from typing import Dict
 
 from ..core.typecheck import check_process
-from ..errors import LoanedRegisterMutationError, MessageSendError, ValueNotLiveError
 from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
 from ..lang.process import Process
 from ..lang.terms import (
     cycle,
     let,
-    par,
     read,
     recv,
     send,
@@ -26,6 +24,7 @@ from ..lang.terms import (
     var,
 )
 from ..lang.types import Logic
+from ..rtl.executors import JobSpec, job_kind
 
 
 def _req_res(name="ch", until=True):
@@ -190,29 +189,47 @@ def case_core2axi_w_valid() -> Dict[str, object]:
     }
 
 
+#: the Table 2 case studies by name -- the declarative surface the
+#: ``table2_case`` job kind dispatches on (``stream_fifo`` is special:
+#: it simulates and therefore consumes the config's backend)
+CASES = {
+    "opentitan": case_opentitan_entropy,
+    "coyote": case_coyote_two_cycle_valid,
+    "ibex": case_ibex_instr_valid,
+    "snax": case_snax_alu_handshake,
+    "core2axi": case_core2axi_w_valid,
+}
+
+
+@job_kind("table2_case")
+def _table2_case_job(spec: JobSpec) -> Dict[str, object]:
+    """Run one named case study (any executor; nothing to pickle but
+    the name and the config)."""
+    case = spec.param("case")
+    if case == "stream_fifo":
+        return stream_fifo_safety(backend=spec.config.backend)
+    return CASES[case]()
+
+
 def generate_table2(parallel=None, backend: str = None,
                     config=None) -> Dict[str, Dict[str, object]]:
     """All five case studies plus the Section 7.2 stream-FIFO dynamic
-    comparison; independent, so run as a batch sweep.  ``config`` (a
-    :class:`~repro.api.SimConfig` or :class:`~repro.api.Session`)
-    supplies the FSM execution backend of the dynamic case and the pool
-    size; the ``parallel``/``backend`` keywords survive as a
-    compatibility shim and win over the config when given."""
-    from ..api import resolve_config
+    comparison; independent, so each runs as one declarative
+    ``table2_case`` :class:`~repro.rtl.executors.JobSpec` on the
+    configured executor.  ``config`` (a :class:`~repro.api.SimConfig`
+    or :class:`~repro.api.Session`) supplies the FSM execution backend
+    of the dynamic case, the executor and the pool size; the
+    ``parallel``/``backend`` keywords survive as a compatibility shim
+    and win over the config when given."""
+    from ..api import pool_args, resolve_config
     from ..rtl.batch import run_batch
 
     cfg = resolve_config(config, parallel=parallel, backend=backend)
     return run_batch(
-        [
-            ("opentitan", case_opentitan_entropy),
-            ("coyote", case_coyote_two_cycle_valid),
-            ("ibex", case_ibex_instr_valid),
-            ("snax", case_snax_alu_handshake),
-            ("core2axi", case_core2axi_w_valid),
-            ("stream_fifo",
-             lambda: stream_fifo_safety(backend=cfg.backend)),
-        ],
-        parallel=cfg.parallel,
+        [JobSpec(kind="table2_case", name=name, config=cfg,
+                 params=(("case", name),))
+         for name in [*CASES, "stream_fifo"]],
+        **pool_args(cfg),
     )
 
 

@@ -17,7 +17,7 @@ Each message declares:
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..core.patterns import Duration
 from .types import DataType, Logic

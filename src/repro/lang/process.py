@@ -8,7 +8,7 @@ the simulator executes and the compositional type check covers.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ElaborationError
 from .channels import ChannelDef, Side

@@ -20,7 +20,7 @@ hardware comparison operators.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from .types import DataType, Logic
 

@@ -3,48 +3,93 @@
 The harness tables and figures are *sweeps*: many independent designs,
 each elaborated into its own :class:`~repro.rtl.simulator.Simulator` (or
 its own typecheck/BMC job), with no shared state.  ``run_batch`` executes
-such a job list on a thread pool and returns results keyed by job name in
-submission order; :class:`BatchSimulator` is the simulator-specific
-convenience wrapper.
+such a job list on one of the executors from :mod:`repro.rtl.executors`
+and returns results keyed by job name in submission order;
+:class:`BatchSimulator` is the simulator-specific convenience wrapper.
+
+Jobs come in two shapes:
+
+* a declarative :class:`~repro.rtl.executors.JobSpec` -- picklable, so
+  it runs on *any* executor, including the ``process`` pool that buys
+  real multi-core speedup;
+* a legacy ``(name, thunk)`` pair -- a closure, confined to the
+  ``serial``/``thread`` executors (closures do not pickle).
 
 Parallelism policy:
 
 * jobs must be independent -- nothing here synchronizes shared state;
 * results are deterministic: each job owns its RNGs and simulators, and
   the output ordering never depends on completion order;
-* the pool size defaults to ``min(len(jobs), os.cpu_count())`` and can
-  be forced serial with ``parallel=False`` or the environment variable
-  ``REPRO_PARALLEL=0`` (useful for profiling and debugging).
+* the pool size defaults to ``min(len(jobs), os.cpu_count())``; it can
+  be forced serial with ``parallel=False`` or ``REPRO_PARALLEL=0`` (or
+  ``false``/``no``/``off``), and forced to N workers with ``parallel=N``
+  or ``REPRO_PARALLEL=N`` (the environment variable wins -- it is the
+  profiling/debugging override);
+* the executor defaults to ``thread`` (the compatibility reference);
+  pass ``executor="process"`` -- or set ``REPRO_EXECUTOR=process`` via
+  the config layer -- for multi-core sweeps of JobSpecs.
 
 GIL caveat: the harness jobs are pure-Python and CPU-bound, so on a
-standard CPython build the threads interleave rather than truly run in
-parallel -- expect isolation and uniform sweep structure, not wall-clock
-speedup.  The structure pays off for jobs that release the GIL (I/O,
-native extensions) and on free-threaded builds; process pools are not an
-option here because harness specs close over lambdas (unpicklable).
-Anything whose *result* depends on wall-clock time budgets (the BMC
-harness) should stay serial.
+standard CPython build the *thread* executor interleaves rather than
+truly runs in parallel -- expect isolation and uniform sweep structure,
+not wall-clock speedup.  The *process* executor is the one that scales
+with cores; anything whose *result* depends on wall-clock time budgets
+(the BMC harness) should stay serial.
 
 Exceptions propagate: the first failing job (in submission order)
-re-raises in the caller.
+re-raises in the caller, with the worker traceback attached when it
+crossed a process boundary.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Sequence, Tuple, Union
 
+from .executors import JobSpec, get_executor
 from .simulator import Simulator
 
-Job = Tuple[str, Callable[[], object]]
+Job = Union[Tuple[str, Callable[[], object]], JobSpec]
+
+#: REPRO_PARALLEL values that force a serial run
+_FALSY = ("0", "false", "no", "off")
+#: REPRO_PARALLEL values equivalent to leaving it unset
+_AUTO = ("", "true", "yes", "on", "auto")
+
+
+def _env_parallel() -> Union[int, None]:
+    """Parse ``REPRO_PARALLEL``: ``None`` when unset/auto, ``0`` for the
+    falsy spellings (force a fully serial run), a forced worker count
+    for positive integers (``1`` keeps the chosen executor with one
+    worker -- a one-process pool still crosses the pickling boundary);
+    any other value is a user error and raises."""
+    env = os.environ.get("REPRO_PARALLEL")
+    if env is None:
+        return None
+    text = env.strip().lower()
+    if text in _AUTO:
+        return None
+    if text in _FALSY:
+        return 0
+    try:
+        forced = int(text)
+    except ValueError:
+        forced = -1
+    if forced < 1:
+        raise ValueError(
+            f"invalid REPRO_PARALLEL value {env!r}: use a positive "
+            f"integer worker count, one of {'/'.join(_FALSY)} to force "
+            f"serial, or {'/'.join(a for a in _AUTO if a)}/unset for "
+            f"the default"
+        )
+    return forced
 
 
 def _pool_size(parallel: Union[bool, int, None], n_jobs: int) -> int:
     """Resolve the worker count; 1 means run serially."""
-    env = os.environ.get("REPRO_PARALLEL")
-    if env is not None and env.strip() in ("0", "false", "no", "off"):
-        return 1
+    forced = _env_parallel()
+    if forced is not None:
+        return max(1, forced)
     if parallel is False:
         return 1
     if parallel is None or parallel is True:
@@ -53,16 +98,31 @@ def _pool_size(parallel: Union[bool, int, None], n_jobs: int) -> int:
 
 
 def run_batch(jobs: Sequence[Job],
-              parallel: Union[bool, int, None] = None) -> Dict[str, object]:
-    """Run ``(name, thunk)`` jobs, returning ``{name: result}`` in
-    submission order."""
+              parallel: Union[bool, int, None] = None,
+              executor: str = None) -> Dict[str, object]:
+    """Run a job list, returning ``{name: result}`` in submission order.
+
+    ``jobs`` may mix :class:`~repro.rtl.executors.JobSpec` entries and
+    legacy ``(name, thunk)`` pairs; the ``process`` executor accepts
+    JobSpecs only.  ``parallel`` resolves the worker count exactly as
+    before (``False``/``0`` serial, ``N`` forced, ``None`` auto), and
+    ``REPRO_PARALLEL`` overrides it either way.
+    """
     jobs = list(jobs)
+    names = [j.name if isinstance(j, JobSpec) else j[0] for j in jobs]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(
+            f"duplicate job name(s) {dupes!r}: results are keyed by "
+            f"name, so every job in a batch needs a distinct one"
+        )
     workers = _pool_size(parallel, len(jobs))
-    if workers <= 1 or len(jobs) <= 1:
-        return {name: thunk() for name, thunk in jobs}
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [(name, pool.submit(thunk)) for name, thunk in jobs]
-        return {name: fut.result() for name, fut in futures}
+    name = executor or "thread"
+    if workers <= 1 and name != "process":
+        name = "serial"
+    if name == "process" and (parallel is False or _env_parallel() == 0):
+        name = "serial"              # the explicit serial escape hatch
+    return get_executor(name, workers).run(jobs)
 
 
 class BatchSimulator:
@@ -73,11 +133,19 @@ class BatchSimulator:
     >>> batch.add(sim_b)
     >>> batch.run(1000)                    # both advance 1000 cycles
     >>> batch.total_activity()             # {'a': ..., 'b': ...}
+
+    Simulators added through :meth:`add_scenario` carry their registry
+    provenance, which is what lets :meth:`run` ship them to the
+    ``process`` executor as declarative JobSpecs (directly-added sims
+    are closures over live state and stay on the serial/thread path).
     """
 
-    def __init__(self, parallel: Union[bool, int, None] = None):
+    def __init__(self, parallel: Union[bool, int, None] = None,
+                 executor: str = None):
         self.parallel = parallel
+        self.executor = executor
         self.sims: Dict[str, Simulator] = {}
+        self._specs: Dict[str, Tuple[str, object]] = {}
 
     def add(self, sim: Simulator) -> Simulator:
         if sim.name in self.sims:
@@ -113,7 +181,9 @@ class BatchSimulator:
         sim = get_registry().build(name, cfg)
         if as_name:
             sim.name = as_name
-        return self.add(sim)
+        self.add(sim)
+        self._specs[sim.name] = (name, cfg)
+        return sim
 
     def __len__(self):
         return len(self.sims)
@@ -121,20 +191,67 @@ class BatchSimulator:
     def __getitem__(self, name: str) -> Simulator:
         return self.sims[name]
 
+    def _run_process(self, cycles: int,
+                     parallel: Union[bool, int, None]) -> None:
+        """Ship every scenario-provenance sim to the process pool and
+        adopt the remote results into the local simulators.
+
+        Note the cost model: ``add_scenario`` already elaborated each
+        simulator locally (callers may inspect or drive it before
+        running), and the workers elaborate again from provenance -- so
+        this path pays one redundant parent-side build per scenario.
+        For pure sweeps prefer :meth:`repro.api.Session.sweep`, which
+        describes jobs declaratively and never builds in the parent."""
+        missing = [n for n in self.sims if n not in self._specs]
+        if missing:
+            raise ValueError(
+                f"the process executor needs registry provenance (use "
+                f"add_scenario); directly-added simulator(s) "
+                f"{missing!r} cannot be described as JobSpecs"
+            )
+        stale = [n for n, s in self.sims.items() if s.cycle != 0]
+        if stale:
+            raise ValueError(
+                f"the process executor rebuilds simulators from scratch "
+                f"in the workers; already-advanced simulator(s) "
+                f"{stale!r} would lose state (run them on the serial/"
+                f"thread executors instead)"
+            )
+        specs = [
+            JobSpec(kind="run_scenario", name=name, scenario=scenario,
+                    config=cfg, cycles=cycles)
+            for name, (scenario, cfg) in self._specs.items()
+        ]
+        results = run_batch(specs, parallel=parallel, executor="process")
+        for name, run in results.items():
+            self.sims[name].adopt_remote(run.final_cycle, run.activity,
+                                         run.samples)
+
     def run(self, cycles: int,
-            parallel: Union[bool, int, None] = None) -> "BatchSimulator":
+            parallel: Union[bool, int, None] = None,
+            executor: str = None) -> "BatchSimulator":
         """Advance every simulator by ``cycles`` (concurrently when the
         pool allows)."""
+        parallel = self.parallel if parallel is None else parallel
+        executor = executor or self.executor
+        if executor == "process" and self.sims:
+            # one-shot only: workers rebuild from provenance, so the
+            # local sims must still be fresh (checked in _run_process)
+            self._run_process(cycles, parallel)
+            return self
         run_batch(
             [(name, (lambda s=s: s.run(cycles)))
              for name, s in self.sims.items()],
-            parallel=self.parallel if parallel is None else parallel,
+            parallel=parallel,
+            executor=executor,
         )
         return self
 
     def run_until(self, predicates: Dict[str, Callable[[], bool]],
                   limit: int = 10000) -> Dict[str, int]:
-        """Per-simulator ``run_until``; returns elapsed cycles by name."""
+        """Per-simulator ``run_until``; returns elapsed cycles by name.
+        Predicates are closures over live simulators, so this always
+        stays on the serial/thread path."""
         return run_batch(
             [(name, (lambda s=s, p=p: s.run_until(p, limit)))
              for name, s in self.sims.items()

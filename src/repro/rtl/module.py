@@ -12,7 +12,7 @@ mirrors SystemVerilog's ``always_comb`` / ``always_ff`` discipline:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from .signal import Wire
 

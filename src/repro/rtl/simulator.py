@@ -57,6 +57,7 @@ class Simulator:
         self.scheduler = CombScheduler(self)
         self._monitors: List[Callable[[int], None]] = []
         self._prev_values: Dict[int, int] = {}   # brute engine only
+        self._adopted_activity: Dict[Tuple[str, str], int] = None
 
     def add(self, module: Module) -> Module:
         self.modules.append(module)
@@ -97,8 +98,39 @@ class Simulator:
             f"{self.max_settle_iters} iterations at cycle {self.cycle}"
         )
 
+    def adopt_remote(self, cycle: int,
+                     activity: Dict[Tuple[str, str], int],
+                     samples: Dict[str, List[int]]) -> None:
+        """Adopt the observable state of a run that happened in another
+        process (the batch runner's ``process`` executor): cycle count,
+        per-wire toggle counts, waveform samples.
+
+        The local module registers were never advanced, so the simulator
+        becomes *detached*: further ``run``/``step`` calls raise instead
+        of silently mixing fresh local state into the adopted results.
+        """
+        if self.cycle != 0:
+            raise SimulationError(
+                f"cannot adopt a remote run into {self.name!r}: the "
+                f"local simulator already advanced to cycle {self.cycle}"
+            )
+        self.cycle = cycle
+        self._adopted_activity = dict(activity)
+        self.waveform.samples = {k: list(v) for k, v in samples.items()}
+
+    @property
+    def detached(self) -> bool:
+        """True once :meth:`adopt_remote` replaced local execution."""
+        return self._adopted_activity is not None
+
     def step(self):
         """Advance one full clock cycle."""
+        if self.detached:
+            raise SimulationError(
+                f"simulator {self.name!r} adopted a remote run; its "
+                f"local registers never advanced, so it cannot step "
+                f"further (rebuild the scenario to keep simulating)"
+            )
         self.settle()
         # toggle counting for the power model: the scheduler tracks which
         # wires changed during settle, no full snapshot needed
@@ -153,9 +185,13 @@ class Simulator:
     @property
     def activity(self) -> Dict[Tuple[str, str], int]:
         """Per-wire toggle counts keyed by ``(module name, wire name)``."""
+        if self._adopted_activity is not None:
+            return dict(self._adopted_activity)
         return self.scheduler.activity()
 
     def total_activity(self) -> int:
+        if self._adopted_activity is not None:
+            return sum(self._adopted_activity.values())
         return self.scheduler.total_activity()
 
     def __repr__(self):

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
-from .log import ConcreteSend, ConcreteWindow, ExecutionLog
+from .log import ExecutionLog
 
 
 def check_log(log: ExecutionLog) -> List[str]:

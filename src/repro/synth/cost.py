@@ -80,7 +80,6 @@ def _co_cyclic(result_graph, a: int, b: int) -> bool:
     """Heuristic (cost model only): two events fire in the same cycle if
     their concrete times agree under several slack/branch samples."""
     from ..semantics.log import concrete_times
-    from ..core.graph_builder import BuildResult
 
     class _Shim:
         graph = result_graph

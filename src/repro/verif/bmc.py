@@ -12,9 +12,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
-
-from ..errors import BudgetExceeded
+from typing import Callable, List, Optional, Sequence, Tuple
 
 
 class Assertion:

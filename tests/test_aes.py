@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro import Simulator, System, build_simulation, check_process
+from repro import Simulator, System, build_simulation
 from repro.anvil_designs.aes import aes_core
 from repro.codegen.simfsm import MessagePort
 from repro.designs.aes import (

@@ -30,14 +30,29 @@ FAST = dict(stim=150, cycles=60)
 # SimConfig
 # ---------------------------------------------------------------------------
 class TestSimConfig:
-    def test_defaults(self):
+    def test_defaults(self, monkeypatch):
+        # the executor default is env-sensitive by design; this test
+        # pins the unset behaviour (the CI process-executor smoke runs
+        # the whole suite under REPRO_EXECUTOR=process)
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
         cfg = SimConfig()
         assert cfg.engine == "levelized"
         assert cfg.backend == "interp"
         assert cfg.parallel is None
+        assert cfg.executor == "thread"
+        assert cfg.jobs is None
         assert cfg.seed == 0
         assert cfg.stim is None
         assert not cfg.trace
+
+    def test_executor_resolves_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        assert SimConfig().executor == "process"
+        # an explicit value beats the environment
+        assert SimConfig(executor="serial").executor == "serial"
+        monkeypatch.setenv("REPRO_EXECUTOR", "warp-drive")
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+            SimConfig()
 
     def test_unknown_engine_names_the_choices(self):
         with pytest.raises(ValueError, match="'levelized'"):
@@ -51,6 +66,8 @@ class TestSimConfig:
         dict(cycles=0), dict(cycles=-5), dict(cycles="many"),
         dict(stim=0), dict(stim="lots"),
         dict(seed="abc"), dict(parallel="yes"),
+        dict(executor="warp"), dict(jobs=0), dict(jobs="four"),
+        dict(jobs=True),
     ])
     def test_invalid_values_rejected(self, bad):
         with pytest.raises(ValueError):
@@ -319,6 +336,13 @@ class TestCli:
         assert cli_main(["run", "nonesuch", "--cycles", "10"]) == 2
         assert "known scenarios" in capsys.readouterr().err
 
+    def test_run_rejects_sweep_only_executor_flags(self, capsys):
+        # a single run has no sweep: it must not accept (and then
+        # silently ignore) the executor knobs
+        with pytest.raises(SystemExit):
+            cli_main(["run", "streams", "--executor", "process"])
+        assert "--executor" in capsys.readouterr().err
+
     def test_invalid_config_value_is_a_clean_error(self, capsys):
         assert cli_main(["run", "streams", "--cycles", "0"]) == 2
         assert "cycles must be" in capsys.readouterr().err
@@ -331,7 +355,8 @@ class TestCli:
 
     def test_harness_json_echoes_only_consumed_config(self, capsys):
         payload = _cli_json(capsys, ["table1", "--fast"])
-        assert set(payload["config"]) == {"backend", "parallel"}
+        assert set(payload["config"]) == {"backend", "parallel",
+                                          "executor", "jobs"}
         payload = _cli_json(capsys, ["appendix-a", "--fast"])
         assert set(payload["config"]) == {"backend"}
 

@@ -1,13 +1,11 @@
 """AXI-Lite routers: routing correctness, fair arbitration, equivalence."""
 
-import pytest
 
 from repro import Simulator, System, build_simulation, check_process
 from repro.anvil_designs.axi import axi_demux, axi_mux
 from repro.designs.axi import (
     ADDR_W,
     AxiLiteDemux,
-    AxiLiteMux,
     AxiMasterDriver,
     AxiPorts,
     RegFileSlave,

@@ -4,7 +4,7 @@ import pytest
 
 from repro import ElaborationError, Logic, Process, Side, Thread
 from repro.core.events import EventKind, SyncDir
-from repro.core.graph_builder import GraphBuilder, build_thread
+from repro.core.graph_builder import GraphBuilder
 from repro.lang.terms import (
     cycle,
     if_,
@@ -20,7 +20,7 @@ from repro.lang.terms import (
     var,
 )
 
-from helpers import cache_channel, stream_channel
+from helpers import stream_channel
 
 
 def build(body, kind=Thread.LOOP, iterations=1, setup=None):

@@ -18,7 +18,7 @@ from repro import (
     simple_channel,
 )
 from repro.lang import terms as T
-from repro.lang.terms import lit, par, read, recv, send, seq, set_reg, var
+from repro.lang.terms import lit, par, read, send, seq, var
 
 
 class TestTypes:

@@ -5,7 +5,6 @@ symbolic comparison says ``A <= B``, every concrete assignment of
 non-negative slacks satisfies ``value(A) <= value(B)``.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

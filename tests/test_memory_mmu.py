@@ -1,8 +1,6 @@
 """Memory, cache and MMU designs: hazards, dynamic latency, equivalence."""
 
-import pytest
-
-from repro import Side, Simulator, System, build_simulation, check_process
+from repro import Simulator, System, build_simulation, check_process
 from repro.anvil_designs.memory import (
     cached_memory_process,
     cached_memory_static_process,
@@ -19,8 +17,6 @@ from repro.designs.memory import (
 from repro.designs.mmu import (
     FAULT,
     PageTableWalker,
-    ROOT_BASE,
-    Tlb,
     build_page_table,
 )
 from repro.rtl.testing import PortSink, PortSource
@@ -131,7 +127,7 @@ class TestFigure4Cache:
         sim.run(200)
         assert [v for _, v in sink.received] == values
         base_kinds = [k for _, k, _ in cm.latencies]
-        anvil_kinds = ["hit" if l == 1 else "miss" for l in lat]
+        anvil_kinds = ["hit" if lt == 1 else "miss" for lt in lat]
         assert base_kinds == anvil_kinds
 
 

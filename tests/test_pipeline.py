@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro import Simulator, System, build_simulation, check_process
 from repro.anvil_designs.pipeline import pipelined_alu, systolic_array

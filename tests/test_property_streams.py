@@ -1,7 +1,6 @@
 """Property-based stream equivalence: the Anvil FIFO and spill register
 match their baselines for arbitrary stimulus and stall patterns."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

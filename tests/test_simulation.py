@@ -6,7 +6,6 @@ from repro import (
     Logic,
     Process,
     SimulationError,
-    Simulator,
     System,
     build_simulation,
     check_process,

@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from repro import Side, Simulator, System, build_simulation, check_process
+from repro import Simulator, System, build_simulation, check_process
 from repro.anvil_designs.streams import (
     fifo_buffer,
     passthrough_stream_fifo,

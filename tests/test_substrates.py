@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bsv import Rule, RuleScheduler, RuleState, TimingContractMonitor
-from repro.errors import BudgetExceeded
 from repro.verif import Assertion, BoundedModelChecker, TransitionSystem
 
 

@@ -17,12 +17,10 @@ from repro.lang.channels import LifetimeSpec, MessageDef, ChannelDef, StaticSync
 from repro.lang.terms import (
     if_,
     let,
-    par,
     read,
     recv,
     send,
     set_reg,
-    unit,
     var,
 )
 

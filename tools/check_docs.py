@@ -10,8 +10,6 @@ changes.
 Run: python tools/check_docs.py
 """
 
-from __future__ import annotations
-
 import re
 import sys
 from pathlib import Path
@@ -25,12 +23,18 @@ LINK = re.compile(r"\]\(([A-Za-z0-9_./-]+)\)")
 
 # roots a doc reference may start with; anything else in backticks is
 # treated as code, not a path
-PATH_ROOTS = ("src/", "tests/", "benchmarks/", "examples/", "docs/",
-              "tools/")
+PATH_ROOTS = (
+    "src/",
+    "tests/",
+    "benchmarks/",
+    "examples/",
+    "docs/",
+    "tools/",
+)
 SUFFIXES = (".py", ".md")
 
 
-def candidate_paths(text: str):
+def candidate_paths(text):
     for pattern in (BACKTICK, LINK):
         for token in pattern.findall(text):
             token = token.rstrip("/")
@@ -41,7 +45,7 @@ def candidate_paths(text: str):
                 yield token
 
 
-def main() -> int:
+def main():
     missing = []
     checked = 0
     for doc in DOCS:
@@ -53,15 +57,18 @@ def main() -> int:
             checked += 1
             # package-relative references (e.g. `rtl/scheduler.py`)
             # resolve against src/repro/
-            if not (ROOT / ref).exists() and \
-                    not (ROOT / "src" / "repro" / ref).exists():
+            in_repo = (ROOT / ref).exists()
+            in_package = (ROOT / "src" / "repro" / ref).exists()
+            if not in_repo and not in_package:
                 missing.append((doc.name, ref))
     if missing:
         for doc, ref in missing:
-            print(f"{doc}: missing referenced path: {ref}",
-                  file=sys.stderr)
+            print(
+                "{}: missing referenced path: {}".format(doc, ref),
+                file=sys.stderr,
+            )
         return 1
-    print(f"docs check OK: {checked} path references resolve")
+    print("docs check OK: {} path references resolve".format(checked))
     return 0
 
 
