@@ -1,11 +1,20 @@
 """Before/after benchmark of the RTL simulation stack, on three axes.
 
-**Engine axis** (``Simulator(engine=...)``): the levelized, dirty-set
-scheduler against the seed's brute-force settle loop (kept verbatim:
-full re-evaluation of every module per iteration, dict snapshots of
-every wire, full-pass toggle accounting) on the six bundled design
-families and the combined "sweep" (all six families in one simulator --
-the shape the harness tables run).
+**Engine axis** (``Simulator(engine=...)``): the seed's brute-force
+settle loop (kept verbatim: full re-evaluation of every module per
+iteration, dict snapshots of every wire, full-pass toggle accounting),
+the levelized dirty-set scheduler, and the compiled per-topology cycle
+kernel (``engine="kernel"``: exec-generated step loops, see
+``repro.rtl.kernel``) on the six bundled design families and the
+combined "sweep" (all six families in one simulator -- the shape the
+harness tables run).  The axis runs on the ``pycompiled`` FSM backend:
+the settle engines schedule *modules*, and on ``interp`` the plan
+interpreter inside each compiled-process module dominates the cycle,
+masking exactly the dispatch overhead this axis measures (the backend
+axis below quantifies that interpreter cost separately).  Each row
+reports ``speedup`` (levelized vs brute, the historical column) and
+``kernel_speedup`` (kernel vs levelized -- the floor
+``tools/check_bench.py`` gates on).
 
 **Backend axis** (``build_simulation(backend=...)``): the generated-
 Python FSM backend (``pycompiled``: plans compiled to specialized
@@ -48,8 +57,19 @@ import time
 from repro.api import Session, SimConfig, get_registry
 from repro.codegen import pysim
 from repro.codegen.simfsm import BACKENDS
+from repro.rtl import kernel
 from repro.rtl.executors import EXECUTORS
 from repro.rtl.simulator import ENGINES
+
+
+def _measure_once(builder, cycles, warmup):
+    """One cycles/second measurement, plus the finished sim."""
+    sim = builder()
+    sim.run(warmup)
+    t0 = time.perf_counter()
+    sim.run(cycles)
+    elapsed = time.perf_counter() - t0
+    return cycles / elapsed, sim
 
 
 def _measure(builder, cycles, warmup, repeats):
@@ -57,51 +77,74 @@ def _measure(builder, cycles, warmup, repeats):
     best = 0.0
     sim = None
     for _ in range(repeats):
-        sim = builder()
-        sim.run(warmup)
-        t0 = time.perf_counter()
-        sim.run(cycles)
-        elapsed = time.perf_counter() - t0
-        best = max(best, cycles / elapsed)
+        rate, sim = _measure_once(builder, cycles, warmup)
+        best = max(best, rate)
     return best, sim
 
 
 def bench_pair(name, builders, variants, cycles, warmup, repeats, check):
-    """Measure two variants of one design and cross-check equivalence
-    (identical per-wire activity counts and identical waveforms)."""
-    cps = {}
+    """Measure the variants of one design and cross-check equivalence
+    (identical per-wire activity counts and identical waveforms, every
+    variant against the first).  ``speedup`` is second-vs-first (the
+    historical levelized-vs-brute column); when a ``kernel`` variant is
+    present, ``kernel_speedup`` is kernel-vs-levelized.
+
+    Repeats interleave across the variants (A B C, A B C, ...) rather
+    than running each variant's repeats back to back: shared/throttled
+    runners drift over a measurement block, and consecutive repeats
+    would systematically tax whichever variant runs last."""
+    cps = {v: 0.0 for v in variants}
     sims = {}
-    for variant in variants:
-        cps[variant], sims[variant] = _measure(
-            builders[variant], cycles, warmup, repeats
-        )
-    a, b = variants
+    for _ in range(repeats):
+        for variant in variants:
+            rate, sims[variant] = _measure_once(
+                builders[variant], cycles, warmup
+            )
+            cps[variant] = max(cps[variant], rate)
+    a, b = variants[0], variants[1]
     equivalent = True
     if check:
-        equivalent = (
-            sims[a].activity == sims[b].activity
-            and sims[a].waveform.samples == sims[b].waveform.samples
+        ref = sims[a]
+        equivalent = all(
+            sims[v].activity == ref.activity
+            and sims[v].waveform.samples == ref.waveform.samples
+            for v in variants[1:]
         )
-    return {
+    row = {
         "name": name,
-        a: cps[a],
-        b: cps[b],
+        **{v: cps[v] for v in variants},
         "speedup": cps[b] / cps[a],
         "equivalent": equivalent,
     }
+    if "kernel" in cps and "levelized" in cps:
+        row["kernel_speedup"] = cps["kernel"] / cps["levelized"]
+    return row
 
 
 def _print_rows(rows, variants, label):
-    a, b = variants
-    print(f"{'design':18s} {a + ' c/s':>12} {b + ' c/s':>14} "
-          f"{'speedup':>8}  equal")
+    header = f"{'design':18s}" + "".join(
+        f" {v + ' c/s':>14}" for v in variants
+    ) + f" {'speedup':>8}"
+    has_kernel = "kernel_speedup" in rows[0]
+    if has_kernel:
+        header += f" {'k/lev':>7}"
+    print(header + "  equal")
     for r in rows:
-        print(f"{r['name']:18s} {r[a]:12.0f} {r[b]:14.0f} "
-              f"{r['speedup']:7.2f}x  "
-              f"{'yes' if r['equivalent'] else 'NO'}")
+        line = f"{r['name']:18s}" + "".join(
+            f" {r[v]:14.0f}" for v in variants
+        ) + f" {r['speedup']:7.2f}x"
+        if has_kernel:
+            line += f" {r['kernel_speedup']:6.2f}x"
+        print(line + f"  {'yes' if r['equivalent'] else 'NO'}")
     geo = statistics.geometric_mean(r["speedup"] for r in rows[:-1])
     print(f"\nper-design geomean {label} speedup: {geo:.2f}x")
     print(f"design-sweep {label} speedup:       {rows[-1]['speedup']:.2f}x")
+    if has_kernel:
+        kgeo = statistics.geometric_mean(
+            r["kernel_speedup"] for r in rows[:-1])
+        print(f"per-design geomean kernel-vs-levelized: {kgeo:.2f}x")
+        print(f"design-sweep kernel-vs-levelized:       "
+              f"{rows[-1]['kernel_speedup']:.2f}x")
     return geo
 
 
@@ -136,17 +179,21 @@ def main(argv=None):
     session = Session(base_cfg)
     registry = get_registry()
 
-    # -- engine axis: brute vs levelized on the mixed scenarios ----------
+    # -- engine axis: brute vs levelized vs compiled kernel --------------
+    # measured on the pycompiled backend so compiled-FSM interpretation
+    # does not mask the settle-engine dispatch this axis isolates
     engine_rows = []
     for name in registry.names("rtl", exclude="sweep"):
         builders = {
-            engine: (lambda e=engine, n=name: session.build(n, engine=e))
+            engine: (lambda e=engine, n=name: session.build(
+                n, engine=e, backend="pycompiled"))
             for engine in ENGINES
         }
         engine_rows.append(bench_pair(name, builders, ENGINES, cycles,
                                       warmup, repeats, check))
     sweep_builders = {
-        engine: (lambda e=engine: session.build("sweep", engine=e))
+        engine: (lambda e=engine: session.build(
+            "sweep", engine=e, backend="pycompiled"))
         for engine in ENGINES
     }
     engine_rows.append(bench_pair("sweep (all six)", sweep_builders,
@@ -154,7 +201,7 @@ def main(argv=None):
                                   check))
 
     print("== engine axis: seed brute-force loop vs levelized "
-          "scheduler ==")
+          "scheduler vs compiled cycle kernel ==")
     _print_rows(engine_rows, ENGINES, "engine")
 
     # -- backend axis: plan interpreter vs generated Python --------------
@@ -199,13 +246,17 @@ def main(argv=None):
 
     # -- executor axis: the 12-family sweep as declarative JobSpecs ------
     print("\n== executor axis: 12-family sweep, build+run per job "
-          "(levelized/pycompiled) ==")
+          "(kernel/pycompiled) ==")
     sweep_names = (registry.names("rtl", exclude="sweep")
                    + registry.names("anvil", exclude="sweep"))
     # full per-family cycle counts: each job must carry enough work to
     # amortize pool spawn + result IPC, or the axis only measures
-    # overhead (the recorded cpu_count tells small boxes apart)
-    exec_session = Session(base_cfg.replace(backend="pycompiled"))
+    # overhead (the recorded cpu_count tells small boxes apart).  The
+    # sweep runs the fastest configuration -- the harness-sweep shape
+    # going forward -- which also smokes the per-worker kernel-cache
+    # warm-up end to end.
+    exec_session = Session(base_cfg.replace(backend="pycompiled",
+                                            engine="kernel"))
     executor_rows = {}
     reference_state = None
     for executor in EXECUTORS:
@@ -236,6 +287,9 @@ def main(argv=None):
     stats = pysim.cache_stats()
     print(f"\npysim compile cache: {stats['hits']} hits, "
           f"{stats['misses']} misses, {stats['entries']} entries")
+    kstats = kernel.cache_stats()
+    print(f"cycle-kernel compile cache: {kstats['hits']} hits, "
+          f"{kstats['misses']} misses, {kstats['entries']} entries")
 
     ok = (all(r["equivalent"] for r in engine_rows)
           and all(r["equivalent"] for r in backend_rows)
@@ -253,8 +307,10 @@ def main(argv=None):
                 "checked": check,
             },
             # the resolved SimConfig every scenario was elaborated
-            # under (per-variant rows override only the measured axis),
-            # so the record is self-describing
+            # under (per-variant rows override the measured axis; the
+            # engine axis and executor sweep additionally pin
+            # backend="pycompiled" -- see the module docstring), so the
+            # record is self-describing
             "sim_config": base_cfg.to_dict(),
             "engine_axis": engine_rows,
             "backend_axis": backend_rows,
@@ -263,11 +319,13 @@ def main(argv=None):
                 "jobs": args.jobs,
                 "cycles": cycles,
                 "backend": "pycompiled",
+                "engine": "kernel",
                 "scenarios": sweep_names,
                 "executors": executor_rows,
             },
             "anvil_sweep_matrix": matrix,
             "pysim_cache": stats,
+            "kernel_cache": kstats,
             # null (not true) when --no-check skipped the comparisons,
             # so an unverified blob can't masquerade as a verified one
             "equivalent": ok if check else None,

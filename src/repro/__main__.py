@@ -21,8 +21,8 @@ single :class:`~repro.api.SimConfig` and handed to a
 of any subcommand's result; every blob embeds the resolved config so
 records are self-describing.  A subcommand exposes (and echoes) only
 the config fields its run actually consumes -- the harness drivers take
-``--backend``/``--parallel``, ``appendix-a`` just ``--backend`` (its
-BMC sides are serial by design).
+``--engine``/``--backend``/``--parallel``, ``appendix-a`` just
+``--engine``/``--backend`` (its BMC sides are serial by design).
 """
 
 from __future__ import annotations
@@ -48,8 +48,9 @@ ALL_FIELDS = ("engine", "backend", "parallel", "executor", "jobs", "seed",
 RUN_FIELDS = tuple(f for f in ALL_FIELDS
                    if f not in ("executor", "jobs", "parallel"))
 #: what the harness drivers actually thread through (appendix-a keeps
-#: its own serial-by-design parallel knob, so it exposes backend only)
-HARNESS_FIELDS = ("backend", "parallel", "executor", "jobs")
+#: its own serial-by-design parallel knob, so it exposes only the
+#: engine/backend pair its simulated side consumes)
+HARNESS_FIELDS = ("engine", "backend", "parallel", "executor", "jobs")
 
 
 # ---------------------------------------------------------------------------
@@ -60,7 +61,10 @@ def _add_config_options(parser: argparse.ArgumentParser,
     g = parser.add_argument_group("simulation config")
     if "engine" in fields:
         g.add_argument("--engine", choices=ENGINES, default=None,
-                       help="settle engine (default: levelized)")
+                       help="settle engine: levelized (default), kernel "
+                            "(compiled per-topology cycle loops) or "
+                            "brute (the seed reference); $REPRO_ENGINE "
+                            "overrides the default")
     if "backend" in fields:
         g.add_argument("--backend", choices=BACKENDS, default=None,
                        help="compiled-FSM execution backend "
@@ -356,7 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Appendix A: typecheck vs BMC")
     p.add_argument("--fast", action="store_true",
                    help="shrink the BMC budgets (CI smoke)")
-    _add_config_options(p, fields=("backend",))
+    _add_config_options(p, fields=("engine", "backend"))
     p.set_defaults(fn=cmd_appendix_a)
 
     return parser

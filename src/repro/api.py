@@ -65,7 +65,11 @@ class SimConfig:
     """One immutable record of every run-time knob.
 
     ``engine``
-        module-level settle scheduling (:data:`repro.rtl.simulator.ENGINES`);
+        module-level settle scheduling (:data:`repro.rtl.simulator.ENGINES`):
+        ``levelized`` (the default), ``kernel`` (the levelized topology
+        exec-compiled into a per-topology cycle kernel) or ``brute``
+        (the seed reference).  ``None`` resolves to ``$REPRO_ENGINE``
+        when set, else ``levelized``;
     ``backend``
         compiled-Anvil FSM execution (:data:`repro.codegen.simfsm.BACKENDS`);
     ``parallel``
@@ -90,7 +94,7 @@ class SimConfig:
         when true, :class:`RunResult` carries the rendered ASCII waveform.
     """
 
-    engine: str = "levelized"
+    engine: Optional[str] = None
     backend: str = "interp"
     parallel: Parallel = None
     executor: Optional[str] = None
@@ -101,6 +105,14 @@ class SimConfig:
     trace: bool = False
 
     def __post_init__(self):
+        if self.engine is None:
+            env = os.environ.get("REPRO_ENGINE")
+            object.__setattr__(self, "engine", env or "levelized")
+            if self.engine not in ENGINES:
+                raise ValueError(
+                    f"unknown engine {self.engine!r}: known engines are "
+                    f"{_choices(ENGINES)} (did REPRO_ENGINE leak a typo?)"
+                )
         if self.executor is None:
             env = os.environ.get("REPRO_EXECUTOR")
             object.__setattr__(self, "executor", env or "thread")

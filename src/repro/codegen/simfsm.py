@@ -670,16 +670,19 @@ class SimulatedSystem:
 
 
 def build_simulation(system: System, sim=None, do_optimize: bool = True,
-                     backend: str = "interp") -> SimulatedSystem:
+                     backend: str = "interp",
+                     engine: str = "levelized") -> SimulatedSystem:
     """Elaborate a system: compile every process, create channel wires and
     external drivers for exposed endpoints.
 
     ``backend`` selects the execution backend of every compiled process
-    module (``"interp"`` or ``"pycompiled"``); both are observationally
-    identical."""
+    module (``"interp"`` or ``"pycompiled"``); ``engine`` the settle
+    engine of the simulator created when ``sim`` is not supplied (an
+    existing ``sim`` keeps its own engine).  All combinations are
+    observationally identical."""
     from ..rtl.simulator import Simulator
 
-    sim = sim or Simulator(system.name)
+    sim = sim or Simulator(system.name, engine=engine)
     compiled: Dict[str, CompiledProcess] = {}
     modules: Dict[str, AnvilProcessModule] = {}
     for inst in system.instances.values():

@@ -83,7 +83,8 @@ def listing1_child_safe() -> Process:
     return child
 
 
-def anvil_side(backend: str = "interp") -> Dict[str, object]:
+def anvil_side(backend: str = "interp",
+               engine: str = "levelized") -> Dict[str, object]:
     t0 = time.time()
     report = check_process(listing1_child())
     elapsed = time.time() - t0
@@ -98,7 +99,7 @@ def anvil_side(backend: str = "interp") -> Dict[str, object]:
     inst = sys_.add(safe)
     top_ch = sys_.expose(inst, "ep")
     gc_ch = sys_.expose(inst, "ep_s")
-    ss = build_simulation(sys_, backend=backend)
+    ss = build_simulation(sys_, backend=backend, engine=engine)
     gc = ss.external(gc_ch)
     top = ss.external(top_ch)
     for i in range(16):
@@ -181,8 +182,10 @@ def verification_side(max_depth: int = 2000, max_states: int = 60_000,
 
 @job_kind("appendix_anvil")
 def _appendix_anvil_job(spec: JobSpec) -> Dict[str, object]:
-    """The language side, on the config's FSM execution backend."""
-    return anvil_side(backend=spec.config.backend)
+    """The language side, on the config's settle engine and FSM
+    execution backend."""
+    return anvil_side(backend=spec.config.backend,
+                      engine=spec.config.engine)
 
 
 @job_kind("appendix_bmc")

@@ -32,9 +32,9 @@ from ..rtl.simulator import Simulator
 # ---------------------------------------------------------------------------
 # Figure 1
 # ---------------------------------------------------------------------------
-def figure1(cycles: int = 16) -> Dict[str, object]:
+def figure1(cycles: int = 16, engine: str = "levelized") -> Dict[str, object]:
     """The motivating timing hazard: Top misreading a 2-cycle memory."""
-    sim = Simulator("fig1")
+    sim = Simulator("fig1", engine=engine)
     mem = RawMemory("mem", latency=2)
     top = NaiveTop("top", mem)
     sim.add(mem)
@@ -202,7 +202,8 @@ def figure2_anvil() -> Dict[str, object]:
 # Figure 4
 # ---------------------------------------------------------------------------
 def figure4(addresses=None, cycles: int = 200,
-            backend: str = "interp") -> Dict[str, object]:
+            backend: str = "interp",
+            engine: str = "levelized") -> Dict[str, object]:
     """Static vs dynamic contract on the cached memory."""
     from ..anvil_designs.memory import (
         cached_memory_process,
@@ -214,7 +215,7 @@ def figure4(addresses=None, cycles: int = 200,
         sys_ = System()
         inst = sys_.add(factory())
         ch = sys_.expose(inst, "host")
-        ss = build_simulation(sys_, backend=backend)
+        ss = build_simulation(sys_, backend=backend, engine=engine)
         ext = ss.external(ch)
         ext.always_receive("res")
         for a in addresses:
@@ -342,8 +343,8 @@ def figure6() -> Dict[str, object]:
 # Figure 8
 # ---------------------------------------------------------------------------
 #: figure name -> harness function; the declarative surface the
-#: ``figure`` job kind dispatches on (figure 4 simulates compiled
-#: processes and therefore consumes the config's backend)
+#: ``figure`` job kind dispatches on (figures 1 and 4 simulate and
+#: therefore consume the config's engine; figure 4 also its backend)
 FIGURES = {
     "figure1": figure1,
     "figure2_bsv": figure2_bsv,
@@ -358,8 +359,11 @@ FIGURES = {
 def _figure_job(spec: JobSpec) -> Dict[str, object]:
     """Run one named figure harness (any executor)."""
     name = spec.param("figure")
+    if name == "figure1":
+        return figure1(engine=spec.config.engine)
     if name == "figure4":
-        return figure4(backend=spec.config.backend)
+        return figure4(backend=spec.config.backend,
+                       engine=spec.config.engine)
     if name == "figure8":
         return figure8()       # defined below FIGURES; looked up lazily
     return FIGURES[name]()

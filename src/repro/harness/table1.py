@@ -47,14 +47,14 @@ class Table1Row(NamedTuple):
 
 
 def _activity(factory, endpoint_stimuli, cycles=150, backend="interp",
-              **kw) -> float:
+              engine="levelized", **kw) -> float:
     """Toggles per cycle of the compiled design under a workload."""
     sys_ = System()
     inst = sys_.add(factory(**kw))
     chans = {}
     for ep in list(inst.process.endpoints):
         chans[ep] = sys_.expose(inst, ep)
-    ss = build_simulation(sys_, backend=backend)
+    ss = build_simulation(sys_, backend=backend, engine=engine)
     for ep, stim in endpoint_stimuli.items():
         ext = ss.external(chans[ep])
         for msg, values in stim.get("send", {}).items():
@@ -164,13 +164,14 @@ def _spec_rows() -> List[dict]:
     ]
 
 
-def _row(spec: dict, fast: bool, backend: str = "interp") -> Table1Row:
+def _row(spec: dict, fast: bool, backend: str = "interp",
+         engine: str = "levelized") -> Table1Row:
     """One Table 1 row: cost both implementations, simulate activity."""
     base: CostReport = spec["baseline"]()
     proc = spec["factory"]()
     anv = estimate_compiled(compile_process(proc))
     port_toggles = 0.0 if fast else _activity(
-        spec["factory"], spec["stimuli"], backend=backend
+        spec["factory"], spec["stimuli"], backend=backend, engine=engine
     )
     # port toggles seed the activity estimate; internal nodes switch
     # in proportion to the logic they feed (activity density model)
@@ -196,11 +197,12 @@ def _row(spec: dict, fast: bool, backend: str = "interp") -> Table1Row:
 @job_kind("table1_row")
 def _table1_row_job(spec: JobSpec) -> Table1Row:
     """Recompute one Table 1 row from its declarative description --
-    the row index into :func:`_spec_rows` plus the config's backend --
-    so the job ships to any executor, including the process pool."""
+    the row index into :func:`_spec_rows` plus the config's engine and
+    backend -- so the job ships to any executor, including the process
+    pool."""
     rows = _spec_rows()
     return _row(rows[spec.param("index")], spec.param("fast", False),
-                spec.config.backend)
+                spec.config.backend, spec.config.engine)
 
 
 def generate_table1(fast: bool = False, parallel=None,

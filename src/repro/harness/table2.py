@@ -207,7 +207,8 @@ def _table2_case_job(spec: JobSpec) -> Dict[str, object]:
     the name and the config)."""
     case = spec.param("case")
     if case == "stream_fifo":
-        return stream_fifo_safety(backend=spec.config.backend)
+        return stream_fifo_safety(backend=spec.config.backend,
+                                  engine=spec.config.engine)
     return CASES[case]()
 
 
@@ -233,18 +234,19 @@ def generate_table2(parallel=None, backend: str = None,
     )
 
 
-def stream_fifo_safety(backend: str = "interp") -> Dict[str, object]:
+def stream_fifo_safety(backend: str = "interp",
+                       engine: str = "levelized") -> Dict[str, object]:
     """Section 7.2: the stream FIFO's documented-but-unenforced write
     guard -- the baseline overflows dynamically, the compiled Anvil
-    twin (run on ``backend``) never acknowledges an overflowing push, so
-    the same traffic arrives intact."""
+    twin (run on ``backend``/``engine``) never acknowledges an
+    overflowing push, so the same traffic arrives intact."""
     from ..codegen.simfsm import MessagePort, build_simulation
     from ..designs.streams import PassthroughStreamFifo
     from ..lang.process import System
     from ..rtl.simulator import Simulator
     from ..rtl.testing import PortSink, PortSource
 
-    sim = Simulator()
+    sim = Simulator(engine=engine)
     inp, out = MessagePort("in", 8), MessagePort("out", 8)
     dut = PassthroughStreamFifo("fifo", inp, out, depth=2,
                                 guard_writes=False)
@@ -261,7 +263,7 @@ def stream_fifo_safety(backend: str = "interp") -> Dict[str, object]:
     inst = sys_.add(passthrough_stream_fifo(depth=2))
     in_ch = sys_.expose(inst, "inp")
     out_ch = sys_.expose(inst, "out")
-    ss = build_simulation(sys_, backend=backend)
+    ss = build_simulation(sys_, backend=backend, engine=engine)
     ext_in, ext_out = ss.external(in_ch), ss.external(out_ch)
     for v in range(1, 9):
         ext_in.send("data", v)

@@ -73,6 +73,7 @@ class CombScheduler:
         self._dirty = bytearray()
         self._changed: set = set()
         self._needs_prime = True
+        self._undeclared_writers = True   # conservative until built
         # statistics (benchmarks / tests)
         self.eval_count = 0
         self.settle_count = 0
@@ -82,11 +83,15 @@ class CombScheduler:
         self._stale = True
 
     def _fingerprint(self) -> tuple:
+        # the identity component hashes the *ordered* id tuple:
+        # reordering sim.modules changes the evaluation order and the
+        # activity attribution, so it must invalidate the cached
+        # topology (an order-insensitive sum would not)
         modules = self.sim.modules
         return (
             len(modules),
             sum(len(m._wires) for m in modules),
-            sum(id(m) & 0xFFFFFFFF for m in modules),
+            hash(tuple(map(id, modules))),
         )
 
     def _ensure_built(self):
@@ -188,6 +193,7 @@ class CombScheduler:
         # writer scans (test-bench pokes land there); scanned wires are
         # re-checked after every writer evaluation anyway.  With any
         # undeclared writer in the mix, cover everything.
+        self._undeclared_writers = undeclared_writers
         if undeclared_writers:
             self._catch_all = self._scan_all
         else:

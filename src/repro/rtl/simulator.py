@@ -9,16 +9,25 @@ Each cycle:
    (this is what the paper's waveform figures show);
 3. **tick** -- every module's clock edge updates its registers.
 
-Two settle engines are available:
+Three settle engines are available:
 
 * ``engine="levelized"`` (default) -- the change-driven, levelized
   scheduler of :mod:`repro.rtl.scheduler`: dependency-ordered evaluation,
-  dirty-set propagation, incremental toggle accounting.  This is what
-  every harness and benchmark should use.
+  dirty-set propagation, incremental toggle accounting.
+* ``engine="kernel"`` -- the levelized topology exec-compiled into a
+  per-topology cycle kernel (:mod:`repro.rtl.kernel`): ``run(n)``
+  executes N cycles in one generated loop with straight-line
+  evaluation, fused activity accounting, columnar waveform sampling
+  and no per-cycle method dispatch.  Falls back to the levelized
+  per-cycle path automatically whenever the fast path cannot apply
+  (monitors, ``run_until``, ``step``, unhinted modules, mid-run
+  ``add``, detached simulators) -- observables are bit-identical
+  either way.
 * ``engine="brute"`` -- the original bounded fixpoint that re-evaluates
   every module and snapshots every wire per iteration.  Kept as the
-  semantic reference: the equivalence tests pin the levelized engine
-  against it, and ``benchmarks/bench_simulator.py`` measures the speedup.
+  semantic reference: the equivalence tests pin the other engines
+  against it, and ``benchmarks/bench_simulator.py`` measures the
+  speedups.
 
 The simulator also exposes an *activity* counter per wire (toggle
 counts), which feeds the dynamic-power estimate of the synthesis cost
@@ -36,9 +45,10 @@ from .module import Module
 from .scheduler import CombScheduler
 from .waveform import Waveform
 
-#: the available settle engines, in (reference, default) order; the
-#: config layer (:mod:`repro.api`) validates against this tuple
-ENGINES = ("brute", "levelized")
+#: the available settle engines, in (reference, default, fastest)
+#: order; the config layer (:mod:`repro.api`) validates against this
+#: tuple
+ENGINES = ("brute", "levelized", "kernel")
 
 
 class Simulator:
@@ -46,7 +56,8 @@ class Simulator:
                  engine: str = "levelized"):
         if engine not in ENGINES:
             raise ValueError(
-                f"unknown engine {engine!r} (use 'levelized' or 'brute')"
+                f"unknown engine {engine!r} (use 'levelized', 'kernel' "
+                f"or 'brute')"
             )
         self.name = name
         self.engine = engine
@@ -58,6 +69,13 @@ class Simulator:
         self._monitors: List[Callable[[int], None]] = []
         self._prev_values: Dict[int, int] = {}   # brute engine only
         self._adopted_activity: Dict[Tuple[str, str], int] = None
+        # kernel engine only: the compiled cycle kernel for the current
+        # (topology, watch count) pair.  None means no usable kernel --
+        # either never compiled or the topology is unsupported; the
+        # distinction lives in _kernel_key, which matching prevents a
+        # re-plan until the topology or watch count changes
+        self._kernel = None
+        self._kernel_key = None
 
     def add(self, module: Module) -> Module:
         self.modules.append(module)
@@ -124,7 +142,13 @@ class Simulator:
         return self._adopted_activity is not None
 
     def step(self):
-        """Advance one full clock cycle."""
+        """Advance one full clock cycle.
+
+        Always the interpreted path, even under ``engine="kernel"``:
+        single-cycle callers (``run_until`` predicates, test benches
+        poking wires between steps, monitor-driven runs) re-dispatch
+        every cycle, which is exactly the overhead the kernel exists to
+        amortize -- batched cycles go through :meth:`run` instead."""
         if self.detached:
             raise SimulationError(
                 f"simulator {self.name!r} adopted a remote run; its "
@@ -167,8 +191,48 @@ class Simulator:
             prev_settled[wi] = v
 
     def run(self, cycles: int):
-        for _ in range(cycles):
-            self.step()
+        if self.engine != "kernel":
+            for _ in range(cycles):
+                self.step()
+            return
+        remaining = cycles
+        while remaining > 0:
+            remaining -= self._kernel_advance(remaining)
+            if remaining > 0:
+                # the fast path disengaged (monitors, unsupported
+                # topology, pending scheduler state, mid-run add):
+                # one interpreted cycle, then try the kernel again
+                self.step()
+                remaining -= 1
+
+    def _kernel_advance(self, cycles: int) -> int:
+        """Run up to ``cycles`` cycles through the compiled cycle
+        kernel; returns the number actually completed (0 when the fast
+        path cannot engage -- the caller falls back to :meth:`step`)."""
+        if self.detached or self._monitors:
+            return 0
+        sch = self.scheduler
+        sch._ensure_built()
+        if sch._needs_prime or sch._changed:
+            # an unprimed activity baseline (first cycle after build)
+            # or changed wires pending from a standalone settle() --
+            # the interpreted commit owns those paths
+            return 0
+        key = (sch._topo_key, len(self.waveform._watched))
+        if self._kernel_key != key:
+            from .kernel import build_plan, kernel_for
+
+            self._kernel = kernel_for(build_plan(self))
+            self._kernel_key = key
+        kern = self._kernel
+        if kern is None:
+            return 0
+        # late watches: pad once here so the kernel's per-cycle sample
+        # is a plain append
+        for _label, _wire, series in self.waveform._watched:
+            if len(series) < self.cycle:
+                series.extend([0] * (self.cycle - len(series)))
+        return kern.fn(self, sch, cycles)
 
     def run_until(self, predicate: Callable[[], bool], limit: int = 10000):
         """Step until ``predicate()`` or the cycle limit; returns cycles

@@ -16,6 +16,15 @@ class Waveform:
 
     def watch(self, wire, label: str = ""):
         label = label or wire.name
+        if label in self.samples:
+            for existing_label, existing_wire, _series in self._watched:
+                if existing_label == label and existing_wire is wire:
+                    return       # the same signal twice: one series
+            raise ValueError(
+                f"waveform label {label!r} is already watching a "
+                f"different wire; samples are keyed by label, so two "
+                f"signals cannot share one (pass an explicit label=)"
+            )
         series = self.samples.setdefault(label, [])
         self._watched.append((label, wire, series))
 
@@ -38,6 +47,10 @@ class Waveform:
             return "(no signals watched)"
         some = next(iter(self.samples.values()))
         last = len(some) if last is None else min(last, len(some))
+        if last <= first:
+            # watched but never sampled (or an empty window): nothing
+            # to draw -- the seed crashed here on max() of no cells
+            return "(no samples)"
         width = max(len(lbl) for lbl, _w, _s in self._watched) + 2
         cells = max(
             3,

@@ -31,10 +31,12 @@ FAST = dict(stim=150, cycles=60)
 # ---------------------------------------------------------------------------
 class TestSimConfig:
     def test_defaults(self, monkeypatch):
-        # the executor default is env-sensitive by design; this test
-        # pins the unset behaviour (the CI process-executor smoke runs
-        # the whole suite under REPRO_EXECUTOR=process)
+        # the executor/engine defaults are env-sensitive by design;
+        # this test pins the unset behaviour (the CI smoke jobs run the
+        # whole suite under REPRO_EXECUTOR=process and REPRO_ENGINE=
+        # kernel)
         monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
         cfg = SimConfig()
         assert cfg.engine == "levelized"
         assert cfg.backend == "interp"
@@ -185,7 +187,8 @@ class TestSession:
         assert result.cycles == 30
         assert session.config.backend == "interp"
 
-    def test_with_config_derives_a_new_session(self):
+    def test_with_config_derives_a_new_session(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
         a = Session()
         b = a.with_config(engine="brute")
         assert a.config.engine == "levelized"
@@ -209,14 +212,16 @@ class TestSession:
                     == solo.waveform.samples)
 
     def test_bench_reports_equivalent_speedup_rows(self):
-        rows = Session(SimConfig(stim=100, cycles=50)).bench(
-            ["streams"], warmup=5)
+        cfg = SimConfig(stim=100, cycles=50)
+        rows = Session(cfg).bench(["streams"], warmup=5)
         (row,) = rows
         assert row["scenario"] == "streams"
         assert row["equivalent"] is True
         assert row["speedup"] > 0
         assert row["baseline"]["config"]["engine"] == "brute"
-        assert row["configured"]["config"]["engine"] == "levelized"
+        # the configured side carries the resolved session engine
+        # (levelized unless REPRO_ENGINE says otherwise)
+        assert row["configured"]["config"]["engine"] == cfg.engine
 
     def test_unknown_scenario_raises_actionably(self):
         with pytest.raises(KeyError, match="known scenarios"):
@@ -355,10 +360,10 @@ class TestCli:
 
     def test_harness_json_echoes_only_consumed_config(self, capsys):
         payload = _cli_json(capsys, ["table1", "--fast"])
-        assert set(payload["config"]) == {"backend", "parallel",
+        assert set(payload["config"]) == {"engine", "backend", "parallel",
                                           "executor", "jobs"}
         payload = _cli_json(capsys, ["appendix-a", "--fast"])
-        assert set(payload["config"]) == {"backend"}
+        assert set(payload["config"]) == {"engine", "backend"}
 
     def test_sweep_json(self, capsys):
         payload = _cli_json(capsys, [
@@ -368,7 +373,8 @@ class TestCli:
         assert set(payload["result"]) == {"streams", "memory"}
         assert payload["config"]["cycles"] == 40
 
-    def test_bench_json(self, capsys):
+    def test_bench_json(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
         payload = _cli_json(capsys, [
             "bench", "streams", "--cycles", "40", "--stim", "80",
             "--warmup", "5",

@@ -225,8 +225,10 @@ class TestDeterminism:
 # worker warm-up
 # ---------------------------------------------------------------------------
 class TestWarmup:
-    def test_warm_specs_dedupe_and_select_pycompiled_only(self):
-        interp = _spec("memory")
+    def test_warm_specs_dedupe_and_select_compiled_paths_only(self):
+        # only jobs with something to pre-compile are worth warming:
+        # the pycompiled FSM backend and the kernel settle engine
+        interp = _spec("memory", engine="levelized")
         compiled = _spec("anvil_memory", backend="pycompiled")
         twin = _spec("anvil_memory#2", scenario="anvil_memory",
                      backend="pycompiled")

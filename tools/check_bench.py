@@ -1,7 +1,7 @@
 """Bench-regression gate for CI.
 
 Compares a fresh ``benchmarks/bench_simulator.py --json`` blob against
-the committed reference (``BENCH_PR4.json``) and fails when the stack
+the committed reference (``BENCH_PR5.json``) and fails when the stack
 got slower than the committed floors allow:
 
 1. every equivalence flag in the current blob must hold -- an
@@ -10,7 +10,13 @@ got slower than the committed floors allow:
 2. the engine/backend speedups (per-design geomean and the design-sweep
    row) must stay above ``reference * tolerance`` -- the tolerance
    absorbs CI-runner noise, the reference pins the order of magnitude;
-3. the process executor must beat serial by the multicore floor
+3. the compiled cycle kernel must stay ahead of the levelized engine:
+   the per-design geomean of the engine axis' ``kernel_speedup``
+   column must clear ``--kernel-floor * --kernel-tolerance`` (1.5x
+   target, 0.9 noise fraction) on full runs, and the relaxed absolute
+   ``--kernel-quick-floor`` (1.2x) on ``--quick`` blobs, whose
+   single-repeat measurements are noisier still;
+4. the process executor must beat serial by the multicore floor
    (2x by default), but only for *full* benchmark runs on machines
    that actually have cores to parallelize over (``--min-cores``,
    default 4).  ``--quick`` blobs carry too little work per job for
@@ -20,7 +26,7 @@ got slower than the committed floors allow:
 
 Exit codes: 0 pass, 1 regression, 2 unusable input.
 
-Run: python tools/check_bench.py bench.json [--baseline BENCH_PR4.json]
+Run: python tools/check_bench.py bench.json [--baseline BENCH_PR5.json]
 """
 
 import argparse
@@ -84,6 +90,46 @@ def check_axis_floors(blob, baseline, tolerance, failures):
                     "{} {} speedup {:.2f}x fell below the floor "
                     "{:.2f}x".format(axis, label, current, floor)
                 )
+
+
+def check_kernel_floor(blob, target, tolerance, quick_floor, failures):
+    """The compiled cycle kernel must beat the levelized engine by the
+    committed geomean target across the six design families (the sweep
+    row is informational: one giant simulator amortizes differently).
+
+    Like the axis floors, the full-run gate applies a noise tolerance
+    to the target -- the committed blob clears 1.5x with little margin,
+    and same-run engine ratios still wobble a few percent on shared
+    runners.  Quick blobs (single-repeat rows) use their own relaxed
+    absolute floor instead."""
+    rows = blob.get("engine_axis", [])
+    speedups = [r.get("kernel_speedup") for r in rows[:-1]]
+    if not speedups or any(s is None for s in speedups):
+        failures.append(
+            "engine_axis carries no kernel_speedup column -- the blob "
+            "predates the kernel engine; rerun the benchmark"
+        )
+        return
+    kgeo = geomean(speedups)
+    quick = blob.get("config", {}).get("quick", False)
+    if quick:
+        floor = quick_floor
+        detail = "quick run"
+    else:
+        floor = target * tolerance
+        detail = "target {:.2f}x * tolerance {:.2f}".format(
+            target, tolerance
+        )
+    status = "ok" if kgeo >= floor else "REGRESSED"
+    print(
+        "kernel-vs-levelized geomean {:.2f}x  floor {:.2f}x ({})  "
+        "{}".format(kgeo, floor, detail, status)
+    )
+    if kgeo < floor:
+        failures.append(
+            "kernel-vs-levelized geomean {:.2f}x fell below the "
+            "{:.2f}x floor".format(kgeo, floor)
+        )
 
 
 def check_executor_floor(blob, min_cores, multicore_floor, failures):
@@ -153,8 +199,30 @@ def main(argv=None):
     parser.add_argument("current", help="fresh bench_simulator --json blob")
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_PR4.json"),
-        help="committed reference blob (default: BENCH_PR4.json)",
+        default=str(REPO_ROOT / "BENCH_PR5.json"),
+        help="committed reference blob (default: BENCH_PR5.json)",
+    )
+    parser.add_argument(
+        "--kernel-floor",
+        type=float,
+        default=1.5,
+        help="kernel-vs-levelized geomean target for full runs "
+        "(gated at target * --kernel-tolerance)",
+    )
+    parser.add_argument(
+        "--kernel-tolerance",
+        type=float,
+        default=0.9,
+        help="fraction of the kernel target required on full runs "
+        "(same-run engine ratios wobble a few percent on shared "
+        "runners)",
+    )
+    parser.add_argument(
+        "--kernel-quick-floor",
+        type=float,
+        default=1.2,
+        help="relaxed absolute kernel-vs-levelized floor for --quick "
+        "blobs (single-repeat rows are noisier still)",
     )
     parser.add_argument(
         "--tolerance",
@@ -194,6 +262,10 @@ def main(argv=None):
     failures = []
     check_equivalence(blob, failures)
     check_axis_floors(blob, baseline, args.tolerance, failures)
+    check_kernel_floor(
+        blob, args.kernel_floor, args.kernel_tolerance,
+        args.kernel_quick_floor, failures
+    )
     check_executor_floor(
         blob, args.min_cores, args.multicore_floor, failures
     )
