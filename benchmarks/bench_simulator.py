@@ -1,4 +1,4 @@
-"""Before/after benchmark of the RTL simulation stack, on three axes.
+"""Before/after benchmark of the RTL simulation stack, on four axes.
 
 **Engine axis** (``Simulator(engine=...)``): the seed's brute-force
 settle loop (kept verbatim: full re-evaluation of every module per
@@ -22,6 +22,11 @@ Python by ``repro.codegen.pysim``) against the plan interpreter
 (``interp``) on the six *Anvil-only* scenarios -- the workloads that are
 almost entirely compiled-process execution -- plus their combined sweep,
 and the full engine x backend matrix on that sweep.
+
+**CPU axis** (recorded, not gated): the three ``y86_*`` pipelined-CPU
+scenarios across the engines -- control-heavy, data-dependent work
+whose speedups aren't comparable to the streaming designs the gated
+engine axis floors were committed against.
 
 **Executor axis** (``Session.sweep(executor=...)``): the declarative
 JobSpec sweep of all twelve scenario families (six mixed + six
@@ -244,6 +249,31 @@ def main(argv=None):
         print(f"{engine:12s} " + " ".join(
             f"{matrix[f'{engine}/{b}']:12.0f}" for b in BACKENDS))
 
+    # -- cpu axis: the y86 pipelined-CPU family across the engines -------
+    # control-heavy, data-dependent work (branches, hazards, memory
+    # round trips) -- a different shape from the streaming designs the
+    # gated engine axis measures.  Recorded in the blob but not gated:
+    # the CPU runs a whole second system (the Anvil core plus its
+    # memory server) next to the RTL pipeline, so its kernel speedups
+    # are not comparable to the engine-axis floors.
+    cpu_rows = []
+    for name in registry.names("cpu"):
+        builders = {
+            engine: (lambda e=engine, n=name: session.build(
+                n, engine=e, backend="pycompiled"))
+            for engine in ENGINES
+        }
+        cpu_rows.append(bench_pair(name, builders, ENGINES,
+                                   sweep_cycles, warmup, repeats, check))
+
+    print("\n== cpu axis: y86 pipelined-CPU scenarios across the "
+          "engines (not gated) ==")
+    for r in cpu_rows:
+        print(f"{r['name']:18s} " + " ".join(
+            f"{r[e]:12.0f}" for e in ENGINES)
+            + f"  k/lev {r['kernel_speedup']:5.2f}x"
+            + f"  {'yes' if r['equivalent'] else 'NO'}")
+
     # -- executor axis: the 12-family sweep as declarative JobSpecs ------
     print("\n== executor axis: 12-family sweep, build+run per job "
           "(kernel/pycompiled) ==")
@@ -293,6 +323,7 @@ def main(argv=None):
 
     ok = (all(r["equivalent"] for r in engine_rows)
           and all(r["equivalent"] for r in backend_rows)
+          and all(r["equivalent"] for r in cpu_rows)
           and all(r["equivalent"] is not False
                   for r in executor_rows.values()))
 
@@ -314,6 +345,8 @@ def main(argv=None):
             "sim_config": base_cfg.to_dict(),
             "engine_axis": engine_rows,
             "backend_axis": backend_rows,
+            # recorded for trajectory tracking, not gated (see above)
+            "cpu_axis": cpu_rows,
             "executor_axis": {
                 "cpu_count": cpu_count,
                 "jobs": args.jobs,

@@ -1,0 +1,283 @@
+"""Anvil Y86-64 sequential core: the typed-channel counterpart of the
+RTL pipeline in :mod:`repro.designs.y86`.
+
+One architectural instruction is one trip around the loop: fetch over
+the ``imem`` channel, latch the decoded fields (the fetch response only
+lives one cycle -- the lifetime checker *requires* the latch, exactly
+the PTW-register situation in :mod:`repro.anvil_designs.mmu`), execute,
+make one ``dmem`` round trip, commit, and emit a retire event on
+``host``.  The architectural contract (fault order, unsigned bounds,
+``R[0xF]`` semantics, popq write order) is the one documented in
+:mod:`repro.isa.reference`; the differential fuzzer holds all three
+models to it.
+
+Channel contracts:
+
+* ``imem``/``dmem``: request and response both ``static(1)`` -- the
+  memory server registers the request at the fire edge, and the core
+  must latch what it needs from the response before the next cycle;
+* ``host``: a 52-bit retire event (``icode . next_pc[47:0]``) per
+  attempted instruction, ``static(1)``.
+
+The commit is split over two cycles through scratch registers
+(``t_*``): cycle one derives everything from the architectural state
+and the memory response, cycle two writes the architectural state from
+the scratch values only.  The read and write sets of each cycle are
+disjoint, which is how the borrow discipline *wants* a many-register
+writeback expressed -- a single-cycle commit would mutate the condition
+codes while sibling assignments still hold loans on them.
+"""
+
+from __future__ import annotations
+
+from ..isa.encoding import (
+    ICALL,
+    IHALT,
+    IIRMOVQ,
+    IJXX,
+    IMRMOVQ,
+    IOPQ,
+    IPOPQ,
+    IPUSHQ,
+    IRET,
+    IRMMOVQ,
+    IRRMOVQ,
+    MAX_IFUN,
+    RNONE,
+    RSP,
+    SADR,
+    SAOK,
+    SHLT,
+    SINS,
+    insn_size,
+    needs_regids,
+)
+from ..isa.reference import MEM_SIZE
+from ..lang.channels import ChannelDef, LifetimeSpec, MessageDef, Side
+from ..lang.process import Process
+from ..lang.terms import (
+    Term,
+    cycle,
+    if_,
+    let,
+    lit,
+    mux,
+    par,
+    read,
+    recv,
+    send,
+    set_reg,
+    table,
+    var,
+)
+from ..lang.types import Logic
+
+#: retire event: icode (4) . next pc low bits (48)
+RETIRE_WIDTH = 52
+
+#: per-icode lookup tables, indexed by the 4-bit icode nibble
+_SIZE_TAB = tuple(insn_size(i) if i in MAX_IFUN else 1 for i in range(16))
+_REGIDS_TAB = tuple(1 if needs_regids(i) else 0 for i in range(16))
+_MAXIFUN_TAB = tuple(MAX_IFUN.get(i, 0) for i in range(16))
+
+
+def imem_channel() -> ChannelDef:
+    """pc request / 10-byte instruction word response."""
+    return ChannelDef("y86_imem_ch", [
+        MessageDef("req", Side.RIGHT, Logic(64), LifetimeSpec.static(1)),
+        MessageDef("res", Side.LEFT, Logic(80), LifetimeSpec.static(1)),
+    ])
+
+
+def dmem_channel() -> ChannelDef:
+    """``write(1) . wdata(64) . addr(16)`` request / quad response."""
+    return ChannelDef("y86_dmem_ch", [
+        MessageDef("req", Side.RIGHT, Logic(81), LifetimeSpec.static(1)),
+        MessageDef("res", Side.LEFT, Logic(64), LifetimeSpec.static(1)),
+    ])
+
+
+def retire_channel() -> ChannelDef:
+    """One event per attempted instruction (including the stopper)."""
+    return ChannelDef("y86_retire_ch", [
+        MessageDef("ev", Side.LEFT, Logic(RETIRE_WIDTH),
+                   LifetimeSpec.static(1)),
+    ])
+
+
+def y86_core(mem_size: int = MEM_SIZE, name: str = "anvil_y86") -> Process:
+    """The sequential Y86-64 core as one looping Anvil process."""
+    p = Process(name)
+    p.endpoint("imem", imem_channel(), Side.LEFT)
+    p.endpoint("dmem", dmem_channel(), Side.LEFT)
+    p.endpoint("host", retire_channel(), Side.RIGHT)
+
+    p.register("pc", Logic(64))
+    for i in range(15):
+        p.register(f"r{i}", Logic(64))
+    p.register("zf", Logic(1), init=1)
+    p.register("sf", Logic(1))
+    p.register("of", Logic(1))
+    p.register("stat", Logic(3), init=SAOK)
+    p.register("halted", Logic(1))
+    p.register("instret", Logic(64))
+    # decode latches: the fetch response is static(1), so the fields
+    # must live in registers to survive until commit
+    p.register("icode", Logic(4))
+    p.register("ifun", Logic(4))
+    p.register("ra", Logic(4))
+    p.register("rb", Logic(4))
+    p.register("valc", Logic(64))
+    # commit scratch: derived in the response cycle, written back the
+    # cycle after (disjoint read/write sets on both cycles)
+    p.register("t_vale", Logic(64))
+    p.register("t_valm", Logic(64))
+    p.register("t_npc", Logic(64))
+    p.register("t_dste", Logic(4))
+    p.register("t_dstm", Logic(4))
+    p.register("t_zf", Logic(1))
+    p.register("t_sf", Logic(1))
+    p.register("t_of", Logic(1))
+
+    icode = read("icode")
+    ifun = read("ifun")
+
+    def eq_any(term, *codes) -> Term:
+        out: Term = term.eq(codes[0])
+        for c in codes[1:]:
+            out = out | term.eq(c)
+        return out
+
+    def retire_ev() -> Term:
+        return send("host", "ev",
+                    read("icode").concat(read("pc").bits(47, 0)))
+
+    def stop(stat_code: int) -> Term:
+        """Fault/halt: freeze pc at the stopper, count the attempt."""
+        return par(
+            set_reg("stat", lit(stat_code, 3)),
+            set_reg("halted", lit(1, 1)),
+            set_reg("instret", read("instret") + 1),
+        ) >> retire_ev()
+
+    # -- fetch + decode latch -----------------------------------------
+    iw = var("iw")
+    decode_latch = let("iw", recv("imem", "res"), par(
+        set_reg("icode", iw.bits(7, 4)),
+        set_reg("ifun", iw.bits(3, 0)),
+        set_reg("ra", iw.bits(15, 12)),
+        set_reg("rb", iw.bits(11, 8)),
+        set_reg("valc", mux(table(iw.bits(7, 4), _REGIDS_TAB, 1),
+                            iw.shr(16).bits(63, 0),
+                            iw.shr(8).bits(63, 0))),
+    ))
+
+    # -- decode-derived values (pure register reads) ------------------
+    size = table(icode, _SIZE_TAB, 4)
+    valp = read("pc") + size
+    legal = icode.le(IPOPQ) & ifun.le(table(icode, _MAXIFUN_TAB, 3))
+    fetch_oob = read("pc").gt(mem_size - 1)
+    encoding_oob = valp.gt(mem_size)
+
+    def rf(idx: Term) -> Term:
+        out: Term = lit(0, 64)          # R[0xF] reads zero
+        for i in reversed(range(15)):
+            out = mux(idx.eq(i), read(f"r{i}"), out)
+        return out
+
+    src_a = mux(eq_any(icode, IPOPQ, IRET), lit(RSP, 4), read("ra"))
+    src_b = mux(eq_any(icode, IPUSHQ, IPOPQ, ICALL, IRET),
+                lit(RSP, 4), read("rb"))
+    vala = rf(src_a)
+    valb = rf(src_b)
+    rsp_v = read(f"r{RSP}")
+
+    # OPq ALU (valb OP vala) with the shared CC derivation
+    op_res = mux(ifun.eq(0), valb + vala,
+                 mux(ifun.eq(1), valb - vala,
+                     mux(ifun.eq(2), valb & vala, valb ^ vala)))
+    add_of = (~(vala ^ valb) & (vala ^ op_res)).bit(63)
+    sub_of = ((vala ^ valb) & (valb ^ op_res)).bit(63)
+    new_of = mux(ifun.eq(0), add_of, mux(ifun.eq(1), sub_of, lit(0, 1)))
+    new_zf = op_res.eq(0)
+    new_sf = op_res.bit(63)
+    is_op = icode.eq(IOPQ)
+
+    # branch/cmov condition against the *old* flags
+    sxo = read("sf") ^ read("of")
+    nzf = read("zf") ^ 1
+    cnd = mux(ifun.eq(0), lit(1, 1),
+              mux(ifun.eq(1), sxo | read("zf"),
+                  mux(ifun.eq(2), sxo,
+                      mux(ifun.eq(3), read("zf"),
+                          mux(ifun.eq(4), nzf,
+                              mux(ifun.eq(5), sxo ^ 1,
+                                  (sxo ^ 1) & nzf))))))
+
+    # -- data-memory leg ----------------------------------------------
+    need_mem = eq_any(icode, IRMMOVQ, IMRMOVQ, ICALL, IRET, IPUSHQ,
+                      IPOPQ)
+    mem_addr = mux(eq_any(icode, IRMMOVQ, IMRMOVQ), read("valc") + valb,
+                   mux(eq_any(icode, IPUSHQ, ICALL), rsp_v - 8, rsp_v))
+    mem_fault = need_mem & mem_addr.gt(mem_size - 8)
+    do_req = need_mem & mem_fault.eq(0)
+    is_write = eq_any(icode, IRMMOVQ, IPUSHQ, ICALL)
+    wdata = mux(icode.eq(ICALL), valp, vala)
+    dreq = (is_write & do_req) \
+        .concat(mux(do_req, wdata, lit(0, 64))) \
+        .concat(mux(do_req, mem_addr.bits(15, 0), lit(0, 16)))
+
+    # -- commit --------------------------------------------------------
+    dm = var("dm")                      # dmem response (valM)
+    vale = mux(icode.eq(IRRMOVQ), vala,
+               mux(icode.eq(IIRMOVQ), read("valc"),
+                   mux(is_op, op_res,
+                       mux(eq_any(icode, IPUSHQ, ICALL), rsp_v - 8,
+                           rsp_v + 8))))
+    dste = mux(icode.eq(IRRMOVQ) & cnd.eq(0), lit(RNONE, 4),
+               mux(eq_any(icode, IRRMOVQ, IIRMOVQ, IOPQ), read("rb"),
+                   mux(eq_any(icode, ICALL, IRET, IPUSHQ, IPOPQ),
+                       lit(RSP, 4), lit(RNONE, 4))))
+    dstm = mux(eq_any(icode, IMRMOVQ, IPOPQ), read("ra"),
+               lit(RNONE, 4))
+    npc = mux(icode.eq(IJXX), mux(cnd, read("valc"), valp),
+              mux(icode.eq(ICALL), read("valc"),
+                  mux(icode.eq(IRET), dm, valp)))
+    derive = par(                       # cycle one: arch + dm -> t_*
+        set_reg("t_vale", vale),
+        set_reg("t_valm", dm),
+        set_reg("t_npc", npc),
+        set_reg("t_dste", dste),
+        set_reg("t_dstm", dstm),
+        set_reg("t_zf", mux(is_op, new_zf, read("zf"))),
+        set_reg("t_sf", mux(is_op, new_sf, read("sf"))),
+        set_reg("t_of", mux(is_op, new_of, read("of"))),
+    )
+    writeback = par(                    # cycle two: t_* -> arch
+        *[set_reg(f"r{i}",
+                  mux(read("t_dstm").eq(i), read("t_valm"),  # dstM wins
+                      mux(read("t_dste").eq(i), read("t_vale"),
+                          read(f"r{i}"))))
+          for i in range(15)],
+        set_reg("zf", read("t_zf")),
+        set_reg("sf", read("t_sf")),
+        set_reg("of", read("t_of")),
+        set_reg("pc", read("t_npc")),
+        set_reg("instret", read("instret") + 1),
+    )
+    commit = derive >> writeback >> retire_ev()
+
+    execute = send("dmem", "req", dreq) >> let(
+        "dm", recv("dmem", "res"),
+        if_(mem_fault, stop(SADR), commit))
+
+    # fault classification order shared with the reference: fetch
+    # bounds, legal opcode, whole encoding in bounds, halt, execute
+    step = send("imem", "req", read("pc")) >> decode_latch >> if_(
+        fetch_oob, stop(SADR),
+        if_(legal.eq(0), stop(SINS),
+            if_(encoding_oob, stop(SADR),
+                if_(icode.eq(IHALT), stop(SHLT), execute))))
+
+    p.loop(if_(read("halted"), cycle(1), step))
+    return p

@@ -10,7 +10,8 @@ consolidates that surface behind three pieces:
   every axis the simulation stack exposes.  Invalid values fail at
   construction time with actionable errors naming the known choices.
 * :class:`ScenarioRegistry` -- scenarios register themselves once (by
-  decorator, with tags like ``rtl``/``anvil``/``sweep``) and are then
+  decorator, with tags like ``rtl``/``anvil``/``sweep``/``cpu``) and
+  are then
   uniformly enumerable, benchable, batchable and testable.  The
   canonical instance is populated by :mod:`repro.harness.scenarios`;
   use :func:`get_registry` to obtain it fully populated.

@@ -539,6 +539,66 @@ def scenario_anvil_sweep(engine: str = "levelized", seed: int = 0,
     return sim
 
 
+# ---------------------------------------------------------------------------
+# the Y86-64 CPU workload family (tag: "cpu")
+# ---------------------------------------------------------------------------
+
+
+def _y86_scenario(workload: str, engine: str, seed: int, stim: int,
+                  sim: Simulator, backend: str) -> Simulator:
+    """One bundled Y86 program run on *both* CPU implementations.
+
+    The RTL 5-stage pipeline executes the program directly; the compiled
+    Anvil sequential core executes the same image through its typed
+    imem/dmem channels against a :class:`~repro.designs.y86.Y86MemoryServer`.
+    The data-array length scales with ``stim`` so sweeps shape work the
+    same way they do for the other families, and the values come from
+    ``seed`` alone -- engine and backend never see different programs."""
+    from ..designs.y86 import Y86PipelineCpu, attach_anvil_y86
+    from ..isa.assembler import assemble
+    from ..isa.programs import BUNDLED
+
+    sim = sim or Simulator(f"y86_{workload}", engine=engine)
+    rng = random.Random(seed)
+    n = max(4, min(stim // 250, 16))
+    values = [rng.getrandbits(64) for _ in range(n)]
+    prog = assemble(BUNDLED[workload](values))
+    cpu = sim.add(Y86PipelineCpu(f"y86_{workload}_cpu", prog.image))
+    for wire in (cpu.w_pc, cpu.instret_w, cpu.rax, cpu.halted_w):
+        sim.watch(wire, f"{sim.name}.{cpu.name}.{wire.name}")
+    _core, _server, host = attach_anvil_y86(
+        sim, prog.image, backend=backend, name=f"y86_{workload}")
+    port = host.ports["ev"]
+    label = f"{sim.name}.y86_{workload}_core.host.ev"
+    sim.watch(port.data, f"{label}.data")
+    sim.watch(port.valid, f"{label}.valid")
+    return sim
+
+
+@REGISTRY.scenario("y86_sum", tags=("cpu",))
+def y86_sum(engine: str = "levelized", seed: int = 0,
+            stim: int = DEFAULT_STIM, sim: Simulator = None,
+            backend: str = "interp") -> Simulator:
+    """The CSAPP sum loop over a seeded array, on both Y86 cores."""
+    return _y86_scenario("sum", engine, seed, stim, sim, backend)
+
+
+@REGISTRY.scenario("y86_sort", tags=("cpu",))
+def y86_sort(engine: str = "levelized", seed: int = 0,
+             stim: int = DEFAULT_STIM, sim: Simulator = None,
+             backend: str = "interp") -> Simulator:
+    """Signed bubble sort: branch-heavy, with data-dependent control."""
+    return _y86_scenario("sort", engine, seed, stim, sim, backend)
+
+
+@REGISTRY.scenario("y86_memcpy", tags=("cpu",))
+def y86_memcpy(engine: str = "levelized", seed: int = 0,
+               stim: int = DEFAULT_STIM, sim: Simulator = None,
+               backend: str = "interp") -> Simulator:
+    """Copy-and-checksum: load/store pairs through the memory stage."""
+    return _y86_scenario("memcpy", engine, seed, stim, sim, backend)
+
+
 #: deprecated view kept for one release; note the registry names these
 #: ``anvil_streams`` ... -- this dict keeps the old short keys
 ANVIL_SCENARIOS: Dict[str, Callable[..., Simulator]] = {

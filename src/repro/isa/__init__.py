@@ -1,0 +1,43 @@
+"""Y86-64 instruction-set layer: encodings, assembler, reference model.
+
+The package is the architectural ground truth for the Y86 CPU workload
+family:
+
+* :mod:`repro.isa.encoding` -- instruction formats, register/opcode
+  tables, byte-level encode/decode;
+* :mod:`repro.isa.assembler` -- a two-pass assembler for the CSAPP
+  ``.ys`` dialect (labels, ``.pos``/``.align``/``.quad`` directives);
+* :mod:`repro.isa.reference` -- the sequential ISA-level interpreter
+  whose final :class:`~repro.isa.reference.ArchState` is the golden
+  model every pipelined implementation is differenced against;
+* :mod:`repro.isa.programs` -- bundled workloads (sum loop, bubble
+  sort, memcpy) used as scenario stimulus;
+* :mod:`repro.isa.fuzz` -- the seeded random-program generator and the
+  differential runner behind ``tests/test_y86_fuzz.py``.
+"""
+
+from .assembler import AssembledProgram, AssemblyError, assemble
+from .encoding import (
+    Instruction,
+    decode,
+    encode,
+    format_instruction,
+    insn_size,
+    valid_instruction,
+)
+from .reference import MEM_SIZE, ArchState, ReferenceMachine
+
+__all__ = [
+    "AssembledProgram",
+    "AssemblyError",
+    "ArchState",
+    "Instruction",
+    "MEM_SIZE",
+    "ReferenceMachine",
+    "assemble",
+    "decode",
+    "encode",
+    "format_instruction",
+    "insn_size",
+    "valid_instruction",
+]

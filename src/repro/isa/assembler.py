@@ -1,0 +1,274 @@
+"""A two-pass assembler for the CSAPP ``.ys`` dialect.
+
+Supported syntax::
+
+    label:                    # labels (may share a line with a statement)
+    .pos 0x200                # set the location counter
+    .align 8                  # round the location counter up
+    .quad 0xabcd              # 8-byte little-endian datum (also .byte,
+    .quad label               # .word, .long); labels resolve to addresses
+    irmovq $7, %rax           # immediates: $N or $label or a bare label
+    irmovq stack, %rsp
+    mrmovq 8(%rdi), %r10      # displacement and/or base both optional
+    rmmovq %rax, (%rsp)
+    addq %rsi, %rdi           # addq/subq/andq/xorq
+    jne loop                  # jmp/jle/jl/je/jne/jge/jg, call: label or N
+    rrmovq %rax, %rbx         # plus cmovle/cmovl/cmove/cmovne/cmovge/cmovg
+    pushq %rax
+    halt                      # halt / nop / ret
+
+Comments start with ``#`` (or ``//``).  Pass one sizes every statement
+and collects labels; pass two emits bytes into a flat image whose length
+is the highest address written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .encoding import (
+    CC_SUFFIXES,
+    ICALL,
+    IHALT,
+    IIRMOVQ,
+    IJXX,
+    IMRMOVQ,
+    INOP,
+    IOPQ,
+    IPOPQ,
+    IPUSHQ,
+    IRET,
+    IRMMOVQ,
+    IRRMOVQ,
+    OP_NAMES,
+    REG_IDS,
+    RNONE,
+    U64,
+    Instruction,
+    encode,
+    insn_size,
+)
+
+
+class AssemblyError(Exception):
+    """Source-level assembly failure; the message carries the line."""
+
+
+#: mnemonic -> (icode, ifun, operand shape)
+#: shapes: none, rr (reg,reg), ir (imm,reg), rm (reg,mem), mr (mem,reg),
+#:         r (reg), dest (label/addr)
+_MNEMONICS: Dict[str, Tuple[int, int, str]] = {
+    "halt": (IHALT, 0, "none"),
+    "nop": (INOP, 0, "none"),
+    "rrmovq": (IRRMOVQ, 0, "rr"),
+    "irmovq": (IIRMOVQ, 0, "ir"),
+    "rmmovq": (IRMMOVQ, 0, "rm"),
+    "mrmovq": (IMRMOVQ, 0, "mr"),
+    "call": (ICALL, 0, "dest"),
+    "ret": (IRET, 0, "none"),
+    "pushq": (IPUSHQ, 0, "r"),
+    "popq": (IPOPQ, 0, "r"),
+    "jmp": (IJXX, 0, "dest"),
+}
+for _i, _op in enumerate(OP_NAMES):
+    _MNEMONICS[_op] = (IOPQ, _i, "rr")
+for _i, _cc in enumerate(CC_SUFFIXES[1:], start=1):
+    _MNEMONICS[f"j{_cc}"] = (IJXX, _i, "dest")
+    _MNEMONICS[f"cmov{_cc}"] = (IRRMOVQ, _i, "rr")
+
+_DATA_SIZES = {".byte": 1, ".word": 2, ".long": 4, ".quad": 8}
+
+
+@dataclass
+class AssembledProgram:
+    """Assembler output: the flat object image plus listing metadata."""
+
+    source: str
+    image: bytes
+    symbols: Dict[str, int]
+    #: (address, object bytes, source line) per emitting statement
+    lines: List[Tuple[int, bytes, str]] = field(default_factory=list)
+
+    def listing(self) -> str:
+        """A yas-style listing: ``0x00a: 803800... | call main``."""
+        out = []
+        for addr, blob, src in self.lines:
+            hexpart = blob.hex()
+            out.append(f"{addr:#05x}: {hexpart:<20s} | {src}")
+        return "\n".join(out)
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(
+            f"line {line_no}: bad number {token!r}"
+        ) from None
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    token = token.strip()
+    if not token.startswith("%") or token[1:] not in REG_IDS:
+        raise AssemblyError(f"line {line_no}: bad register {token!r}")
+    return REG_IDS[token[1:]]
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [op.strip() for op in rest.split(",")] if rest.strip() else []
+
+
+@dataclass
+class _Stmt:
+    addr: int
+    kind: str            # "insn" | "data"
+    line_no: int
+    src: str
+    # insn fields
+    icode: int = 0
+    ifun: int = 0
+    operands: List[str] = field(default_factory=list)
+    shape: str = "none"
+    # data fields
+    width: int = 0
+    value: str = ""
+
+
+def _resolve(token: str, symbols: Dict[str, int], line_no: int) -> int:
+    """A numeric literal or a label, with an optional leading ``$``."""
+    token = token.strip()
+    if token.startswith("$"):
+        token = token[1:]
+    if token.lstrip("+-")[:1].isdigit():
+        return _parse_int(token, line_no)
+    if token in symbols:
+        return symbols[token]
+    raise AssemblyError(f"line {line_no}: undefined symbol {token!r}")
+
+
+def _parse_mem(token: str, symbols: Dict[str, int],
+               line_no: int) -> Tuple[int, int]:
+    """``D(%rB)`` / ``(%rB)`` / ``D`` -> (displacement, base register)."""
+    token = token.strip()
+    if token.endswith(")"):
+        head, _, inner = token[:-1].partition("(")
+        base = _parse_reg(inner, line_no)
+        disp = _resolve(head, symbols, line_no) if head.strip() else 0
+        return disp, base
+    return _resolve(token, symbols, line_no), RNONE
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", "//"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.replace("\t", " ").strip()
+
+
+def assemble(source: str) -> AssembledProgram:
+    """Assemble ``source`` into a flat little-endian object image."""
+    symbols: Dict[str, int] = {}
+    stmts: List[_Stmt] = []
+    lc = 0
+
+    # -- pass one: layout ----------------------------------------------
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw)
+        while text:
+            head, sep, rest = text.partition(":")
+            if sep and " " not in head and "\t" not in head \
+                    and not head.startswith(".") and head not in _MNEMONICS:
+                label = head.strip()
+                if not label.isidentifier():
+                    raise AssemblyError(
+                        f"line {line_no}: bad label {label!r}")
+                if label in symbols:
+                    raise AssemblyError(
+                        f"line {line_no}: duplicate label {label!r}")
+                symbols[label] = lc
+                text = rest.strip()
+                continue
+            break
+        if not text:
+            continue
+        word, _, rest = text.partition(" ")
+        word = word.strip()
+        if word == ".pos":
+            lc = _parse_int(rest.strip(), line_no)
+        elif word == ".align":
+            step = _parse_int(rest.strip(), line_no)
+            if step <= 0:
+                raise AssemblyError(f"line {line_no}: bad .align {step}")
+            lc = (lc + step - 1) // step * step
+        elif word in _DATA_SIZES:
+            width = _DATA_SIZES[word]
+            stmts.append(_Stmt(addr=lc, kind="data", line_no=line_no,
+                               src=text, width=width, value=rest.strip()))
+            lc += width
+        elif word in _MNEMONICS:
+            icode, ifun, shape = _MNEMONICS[word]
+            stmts.append(_Stmt(addr=lc, kind="insn", line_no=line_no,
+                               src=text, icode=icode, ifun=ifun,
+                               shape=shape,
+                               operands=_split_operands(rest)))
+            lc += insn_size(icode)
+        else:
+            raise AssemblyError(
+                f"line {line_no}: unknown mnemonic or directive {word!r}")
+
+    # -- pass two: emission --------------------------------------------
+    emitted: List[Tuple[int, bytes, str]] = []
+    top = 0
+    for st in stmts:
+        if st.kind == "data":
+            value = _resolve(st.value, symbols, st.line_no)
+            blob = (value & ((1 << (8 * st.width)) - 1)).to_bytes(
+                st.width, "little")
+        else:
+            blob = _encode_stmt(st, symbols)
+        emitted.append((st.addr, blob, st.src))
+        top = max(top, st.addr + len(blob))
+
+    image = bytearray(top)
+    for addr, blob, _src in emitted:
+        image[addr:addr + len(blob)] = blob
+    return AssembledProgram(source=source, image=bytes(image),
+                            symbols=dict(symbols), lines=emitted)
+
+
+def _encode_stmt(st: _Stmt, symbols: Dict[str, int]) -> bytes:
+    ops, n = st.operands, st.line_no
+
+    def arity(expected: int):
+        if len(ops) != expected:
+            raise AssemblyError(
+                f"line {n}: {st.src.split()[0]} takes {expected} "
+                f"operand(s), got {len(ops)}")
+
+    ra, rb, valc = RNONE, RNONE, 0
+    if st.shape == "none":
+        arity(0)
+    elif st.shape == "rr":
+        arity(2)
+        ra, rb = _parse_reg(ops[0], n), _parse_reg(ops[1], n)
+    elif st.shape == "ir":
+        arity(2)
+        valc, rb = _resolve(ops[0], symbols, n), _parse_reg(ops[1], n)
+    elif st.shape == "rm":
+        arity(2)
+        ra = _parse_reg(ops[0], n)
+        valc, rb = _parse_mem(ops[1], symbols, n)
+    elif st.shape == "mr":
+        arity(2)
+        valc, rb = _parse_mem(ops[0], symbols, n)
+        ra = _parse_reg(ops[1], n)
+    elif st.shape == "r":
+        arity(1)
+        ra = _parse_reg(ops[0], n)
+    elif st.shape == "dest":
+        arity(1)
+        valc = _resolve(ops[0], symbols, n)
+    return encode(Instruction(icode=st.icode, ifun=st.ifun, ra=ra, rb=rb,
+                              valc=valc & U64))

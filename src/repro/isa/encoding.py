@@ -1,0 +1,175 @@
+"""Y86-64 instruction encodings (the CSAPP subset).
+
+An instruction is 1-10 bytes: one opcode byte (``icode:ifun`` nibbles),
+an optional register byte (``rA:rB`` nibbles) and an optional 8-byte
+little-endian constant.  Register id ``0xF`` (``RNONE``) means "no
+register"; every execution model in this repo reads it as zero and
+discards writes to it, so decode never has to special-case unused
+fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# -- instruction codes -------------------------------------------------
+IHALT = 0x0
+INOP = 0x1
+IRRMOVQ = 0x2   # also cmovXX: the ifun selects the condition
+IIRMOVQ = 0x3
+IRMMOVQ = 0x4
+IMRMOVQ = 0x5
+IOPQ = 0x6      # addq / subq / andq / xorq
+IJXX = 0x7      # jmp / jle / jl / je / jne / jge / jg
+ICALL = 0x8
+IRET = 0x9
+IPUSHQ = 0xA
+IPOPQ = 0xB
+
+# -- registers ---------------------------------------------------------
+REG_NAMES = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14",
+)
+REG_IDS = {name: i for i, name in enumerate(REG_NAMES)}
+RSP = REG_IDS["rsp"]
+RNONE = 0xF
+
+# -- function codes ----------------------------------------------------
+OP_NAMES = ("addq", "subq", "andq", "xorq")
+FN_ADD, FN_SUB, FN_AND, FN_XOR = range(4)
+CC_SUFFIXES = ("", "le", "l", "e", "ne", "ge", "g")
+
+# -- status codes (shared by every execution model) --------------------
+SAOK = 1    # normal operation
+SHLT = 2    # halt executed
+SADR = 3    # invalid memory (or fetch) address
+SINS = 4    # invalid instruction
+STAT_NAMES = {SAOK: "AOK", SHLT: "HLT", SADR: "ADR", SINS: "INS"}
+
+U64 = (1 << 64) - 1
+
+#: highest legal ifun per icode; absent icode = illegal instruction
+MAX_IFUN = {
+    IHALT: 0, INOP: 0, IRRMOVQ: 6, IIRMOVQ: 0, IRMMOVQ: 0, IMRMOVQ: 0,
+    IOPQ: 3, IJXX: 6, ICALL: 0, IRET: 0, IPUSHQ: 0, IPOPQ: 0,
+}
+
+_REGID_ICODES = frozenset(
+    (IRRMOVQ, IIRMOVQ, IRMMOVQ, IMRMOVQ, IOPQ, IPUSHQ, IPOPQ))
+_VALC_ICODES = frozenset((IIRMOVQ, IRMMOVQ, IMRMOVQ, IJXX, ICALL))
+
+
+def needs_regids(icode: int) -> bool:
+    return icode in _REGID_ICODES
+
+
+def needs_valc(icode: int) -> bool:
+    return icode in _VALC_ICODES
+
+
+def insn_size(icode: int) -> int:
+    """Encoded byte length of an instruction with this icode."""
+    return 1 + (1 if needs_regids(icode) else 0) \
+        + (8 if needs_valc(icode) else 0)
+
+
+def valid_instruction(icode: int, ifun: int) -> bool:
+    return icode in MAX_IFUN and 0 <= ifun <= MAX_IFUN[icode]
+
+
+def mnemonic(icode: int, ifun: int) -> str:
+    if icode == IRRMOVQ:
+        return "rrmovq" if ifun == 0 else f"cmov{CC_SUFFIXES[ifun]}"
+    if icode == IJXX:
+        return "jmp" if ifun == 0 else f"j{CC_SUFFIXES[ifun]}"
+    if icode == IOPQ:
+        return OP_NAMES[ifun]
+    return {
+        IHALT: "halt", INOP: "nop", IIRMOVQ: "irmovq", IRMMOVQ: "rmmovq",
+        IMRMOVQ: "mrmovq", ICALL: "call", IRET: "ret", IPUSHQ: "pushq",
+        IPOPQ: "popq",
+    }[icode]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded (or to-be-encoded) Y86-64 instruction."""
+
+    icode: int
+    ifun: int = 0
+    ra: int = RNONE
+    rb: int = RNONE
+    valc: int = 0
+
+    @property
+    def size(self) -> int:
+        return insn_size(self.icode)
+
+    @property
+    def mnemonic(self) -> str:
+        return mnemonic(self.icode, self.ifun)
+
+
+def encode(ins: Instruction) -> bytes:
+    """Object bytes of ``ins`` (inverse of :func:`decode`)."""
+    if not valid_instruction(ins.icode, ins.ifun):
+        raise ValueError(
+            f"cannot encode invalid instruction "
+            f"icode={ins.icode:#x} ifun={ins.ifun:#x}"
+        )
+    out = bytearray([(ins.icode << 4) | ins.ifun])
+    if needs_regids(ins.icode):
+        out.append((ins.ra << 4) | ins.rb)
+    if needs_valc(ins.icode):
+        out.extend((ins.valc & U64).to_bytes(8, "little"))
+    return bytes(out)
+
+
+def decode(blob: bytes, offset: int = 0) -> Instruction:
+    """Decode one instruction at ``offset``; raises :class:`ValueError`
+    on an illegal opcode byte or a truncated encoding."""
+    if offset >= len(blob):
+        raise ValueError(f"decode past end of object code ({offset:#x})")
+    byte0 = blob[offset]
+    icode, ifun = byte0 >> 4, byte0 & 0xF
+    if not valid_instruction(icode, ifun):
+        raise ValueError(
+            f"illegal instruction byte {byte0:#04x} at {offset:#x}"
+        )
+    size = insn_size(icode)
+    if offset + size > len(blob):
+        raise ValueError(
+            f"truncated {mnemonic(icode, ifun)} at {offset:#x}"
+        )
+    ra = rb = RNONE
+    pos = offset + 1
+    if needs_regids(icode):
+        ra, rb = blob[pos] >> 4, blob[pos] & 0xF
+        pos += 1
+    valc = 0
+    if needs_valc(icode):
+        valc = int.from_bytes(blob[pos:pos + 8], "little")
+    return Instruction(icode=icode, ifun=ifun, ra=ra, rb=rb, valc=valc)
+
+
+def _reg(rid: int) -> str:
+    return f"%{REG_NAMES[rid]}" if rid < len(REG_NAMES) else "%none"
+
+
+def format_instruction(ins: Instruction) -> str:
+    """AT&T-style rendering, used by listings and fuzz failure reports."""
+    m = ins.mnemonic
+    if ins.icode in (IHALT, INOP, IRET):
+        return m
+    if ins.icode == IRRMOVQ or ins.icode == IOPQ:
+        return f"{m} {_reg(ins.ra)}, {_reg(ins.rb)}"
+    if ins.icode == IIRMOVQ:
+        return f"{m} ${ins.valc:#x}, {_reg(ins.rb)}"
+    if ins.icode == IRMMOVQ:
+        return f"{m} {_reg(ins.ra)}, {ins.valc:#x}({_reg(ins.rb)})"
+    if ins.icode == IMRMOVQ:
+        return f"{m} {ins.valc:#x}({_reg(ins.rb)}), {_reg(ins.ra)}"
+    if ins.icode in (IJXX, ICALL):
+        return f"{m} {ins.valc:#x}"
+    return f"{m} {_reg(ins.ra)}"   # pushq / popq

@@ -1,0 +1,177 @@
+"""Bundled Y86-64 workloads: sum loop, bubble sort, memcpy.
+
+Each generator returns ``.ys`` source text parameterized by the data
+quads, so scenario builders can seed the arrays deterministically.  The
+sum loop follows the CSAPP worked listing byte for byte when given the
+book's four quads (``tests/test_y86_isa.py`` pins that), the sort is a
+signed bubble sort over adjacent pairs, and memcpy copies then
+checksums.  Every program ends in ``halt`` with the result in ``%rax``
+(sum/checksum) or in memory (sort).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .encoding import U64
+from .reference import MEM_SIZE
+
+#: the four quads of the CSAPP worked example (SNIPPETS item 3)
+CSAPP_QUADS = (0x000D000D000D, 0x00C000C000C0, 0x0B000B000B00,
+               0xA000A000A000)
+
+
+def _quads(values: Sequence[int]) -> List[str]:
+    return [f"    .quad {v & U64:#x}" for v in values]
+
+
+def _stack_pos(mem_size: int) -> int:
+    # the bundled programs nest at most two calls; leave head-room for
+    # eight pushes below the stack label and keep every byte in bounds
+    return mem_size - 8
+
+
+def sum_program(values: Sequence[int], mem_size: int = MEM_SIZE) -> str:
+    """``%rax = sum(values)`` -- the CSAPP sum loop over an array."""
+    lines = [
+        "# CSAPP sum loop",
+        "    irmovq stack, %rsp",
+        "    call main",
+        "    halt",
+        "",
+        ".align 8",
+        "array:",
+        *_quads(values),
+        "",
+        "main:",
+        "    irmovq array, %rdi",
+        f"    irmovq ${len(values)}, %rsi",
+        "    call sum",
+        "    ret",
+        "",
+        "# sum(start in %rdi, count in %rsi), result in %rax",
+        "sum:",
+        "    irmovq $8, %r8",
+        "    irmovq $1, %r9",
+        "    xorq %rax, %rax",
+        "    andq %rsi, %rsi",
+        "    jmp test",
+        "loop:",
+        "    mrmovq (%rdi), %r10",
+        "    addq %r10, %rax",
+        "    addq %r8, %rdi",
+        "    subq %r9, %rsi",
+        "test:",
+        "    jne loop",
+        "    ret",
+        "",
+        f".pos {_stack_pos(mem_size):#x}",
+        "stack:",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def bubble_sort_program(values: Sequence[int],
+                        mem_size: int = MEM_SIZE) -> str:
+    """In-place signed bubble sort of the quads at ``array``."""
+    lines = [
+        "# bubble sort (signed, adjacent-pair sweeps)",
+        "    irmovq stack, %rsp",
+        "    call main",
+        "    halt",
+        "",
+        ".align 8",
+        "array:",
+        *_quads(values),
+        "",
+        "main:",
+        "    irmovq array, %rdi",
+        f"    irmovq ${len(values)}, %rsi",
+        "    call sort",
+        "    ret",
+        "",
+        "# sort(base in %rdi, count in %rsi)",
+        "sort:",
+        "    irmovq $1, %r9",
+        "    irmovq $8, %r8",
+        "    subq %r9, %rsi       # n-1 passes",
+        "    je sdone",
+        "pass:",
+        "    rrmovq %rdi, %rdx    # p = base",
+        "    rrmovq %rsi, %rcx    # pairs left this sweep",
+        "sweep:",
+        "    mrmovq (%rdx), %rax",
+        "    mrmovq 8(%rdx), %rbx",
+        "    rrmovq %rbx, %r10",
+        "    subq %rax, %r10      # b - a",
+        "    jge keep             # already ordered (signed)",
+        "    rmmovq %rbx, (%rdx)",
+        "    rmmovq %rax, 8(%rdx)",
+        "keep:",
+        "    addq %r8, %rdx",
+        "    subq %r9, %rcx",
+        "    jne sweep",
+        "    subq %r9, %rsi",
+        "    jne pass",
+        "sdone:",
+        "    ret",
+        "",
+        f".pos {_stack_pos(mem_size):#x}",
+        "stack:",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def memcpy_program(values: Sequence[int],
+                   mem_size: int = MEM_SIZE) -> str:
+    """Copy the quads from ``src`` to ``dst`` and checksum into
+    ``%rax``."""
+    lines = [
+        "# memcpy + checksum",
+        "    irmovq stack, %rsp",
+        "    call main",
+        "    halt",
+        "",
+        ".align 8",
+        "src:",
+        *_quads(values),
+        "dst:",
+        *["    .quad 0" for _ in values],
+        "",
+        "main:",
+        "    irmovq src, %rdi",
+        "    irmovq dst, %rsi",
+        f"    irmovq ${len(values)}, %rdx",
+        "    call copy",
+        "    ret",
+        "",
+        "# copy(src in %rdi, dst in %rsi, count in %rdx)",
+        "copy:",
+        "    irmovq $8, %r8",
+        "    irmovq $1, %r9",
+        "    xorq %rax, %rax",
+        "    andq %rdx, %rdx",
+        "    je cdone",
+        "cloop:",
+        "    mrmovq (%rdi), %r10",
+        "    rmmovq %r10, (%rsi)",
+        "    addq %r10, %rax",
+        "    addq %r8, %rdi",
+        "    addq %r8, %rsi",
+        "    subq %r9, %rdx",
+        "    jne cloop",
+        "cdone:",
+        "    ret",
+        "",
+        f".pos {_stack_pos(mem_size):#x}",
+        "stack:",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+#: name -> generator, the registry the scenarios and tests iterate
+BUNDLED = {
+    "sum": sum_program,
+    "sort": bubble_sort_program,
+    "memcpy": memcpy_program,
+}

@@ -1,0 +1,276 @@
+"""Sequential ISA-level Y86-64 interpreter: the golden model.
+
+One :meth:`ReferenceMachine.step` executes one architectural
+instruction; the final :class:`ArchState` (registers, memory, condition
+codes, stop status, stop pc, retired-instruction count) is the value
+every pipelined implementation must reproduce exactly.  The fault
+semantics are deliberately spelled out in one place -- the RTL pipeline
+(:mod:`repro.designs.y86`) and the Anvil core
+(:mod:`repro.anvil_designs.y86`) implement the *same* contract in their
+own substrates:
+
+* fetch checks, in order: ``pc`` in bounds (ADR), legal icode/ifun
+  (INS), whole encoding in bounds (ADR), then halt (HLT);
+* data accesses are 8-byte, byte-aligned allowed, and fault (ADR) when
+  ``addr > mem_size - 8`` as an *unsigned* 64-bit comparison;
+* register id ``0xF`` reads zero and discards writes;
+* ``popq %rA`` writes ``rsp+8`` to ``rsp`` first, then ``valM`` to
+  ``rA`` (so ``popq %rsp`` leaves the popped value in ``%rsp``);
+* a faulting instruction makes no architectural updates and leaves
+  ``pc`` at its own address; condition codes change only on ``OPq``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .encoding import (
+    FN_ADD,
+    FN_AND,
+    FN_SUB,
+    ICALL,
+    IHALT,
+    IIRMOVQ,
+    IJXX,
+    IMRMOVQ,
+    INOP,
+    IOPQ,
+    IPOPQ,
+    IPUSHQ,
+    IRET,
+    IRMMOVQ,
+    IRRMOVQ,
+    RNONE,
+    RSP,
+    SADR,
+    SAOK,
+    SHLT,
+    SINS,
+    STAT_NAMES,
+    U64,
+    insn_size,
+    needs_regids,
+    needs_valc,
+    valid_instruction,
+)
+
+#: default flat memory size shared by every Y86 execution model
+MEM_SIZE = 4096
+
+
+def alu(fn: int, vala: int, valb: int) -> Tuple[int, int, int, int]:
+    """``valb OP vala`` plus the ZF/SF/OF triple the operation produces
+    (the single arithmetic contract shared by all three models)."""
+    if fn == FN_ADD:
+        vale = (valb + vala) & U64
+        of = ((~(vala ^ valb) & (vala ^ vale)) >> 63) & 1
+    elif fn == FN_SUB:
+        vale = (valb - vala) & U64
+        of = (((vala ^ valb) & (valb ^ vale)) >> 63) & 1
+    elif fn == FN_AND:
+        vale, of = valb & vala, 0
+    else:
+        vale, of = valb ^ vala, 0
+    return vale, int(vale == 0), (vale >> 63) & 1, of
+
+
+def cond(ifun: int, zf: int, sf: int, of: int) -> int:
+    """Branch/cmov condition for ``ifun`` against the CC triple."""
+    sxo = sf ^ of
+    return (1, sxo | zf, sxo, zf, 1 - zf, 1 - sxo,
+            (1 - sxo) & (1 - zf))[ifun]
+
+
+@dataclass(frozen=True)
+class ArchState:
+    """Final architectural state, the unit of differential comparison."""
+
+    registers: Tuple[int, ...]   # %rax .. %r14 (15 entries)
+    zf: int
+    sf: int
+    of: int
+    pc: int                      # address of the stopping instruction
+    stat: int                    # SHLT / SADR / SINS (SAOK = still running)
+    instret: int                 # attempted steps, including the stopper
+    memory: bytes
+
+    def summary(self) -> str:
+        from .encoding import REG_NAMES
+        regs = ", ".join(
+            f"%{REG_NAMES[i]}={v:#x}"
+            for i, v in enumerate(self.registers) if v
+        ) or "(all zero)"
+        return (
+            f"stat={STAT_NAMES.get(self.stat, self.stat)} pc={self.pc:#x} "
+            f"instret={self.instret} ZF={self.zf} SF={self.sf} "
+            f"OF={self.of}\n  {regs}"
+        )
+
+    def diff(self, other: "ArchState") -> str:
+        """Human-readable field-by-field mismatch listing ('' if equal)."""
+        from .encoding import REG_NAMES
+        lines = []
+        for i in range(15):
+            if self.registers[i] != other.registers[i]:
+                lines.append(
+                    f"%{REG_NAMES[i]}: {self.registers[i]:#x} != "
+                    f"{other.registers[i]:#x}")
+        for name in ("zf", "sf", "of", "pc", "stat", "instret"):
+            a, b = getattr(self, name), getattr(other, name)
+            if a != b:
+                lines.append(f"{name}: {a:#x} != {b:#x}")
+        if self.memory != other.memory:
+            for addr in range(0, min(len(self.memory), len(other.memory))):
+                if self.memory[addr] != other.memory[addr]:
+                    lines.append(
+                        f"mem[{addr:#x}]: {self.memory[addr]:#04x} != "
+                        f"{other.memory[addr]:#04x}")
+                    if len(lines) > 24:
+                        lines.append("... (more memory differences)")
+                        break
+        return "\n".join(lines)
+
+
+class ReferenceMachine:
+    """The sequential interpreter.  ``step()`` returns the post-step
+    stat; ``run()`` steps to a stop (or raises after ``max_steps``)."""
+
+    def __init__(self, program: bytes, mem_size: int = MEM_SIZE):
+        if len(program) > mem_size:
+            raise ValueError(
+                f"program ({len(program)} bytes) exceeds memory "
+                f"({mem_size} bytes)")
+        self.mem_size = mem_size
+        self.memory = bytearray(mem_size)
+        self.memory[:len(program)] = program
+        self.registers = [0] * 16          # index 15 = RNONE, always 0
+        self.zf, self.sf, self.of = 1, 0, 0
+        self.pc = 0
+        self.stat = SAOK
+        self.instret = 0
+
+    # -- memory helpers ------------------------------------------------
+    def _rd8(self, addr: int) -> int:
+        return int.from_bytes(self.memory[addr:addr + 8], "little")
+
+    def _wr8(self, addr: int, value: int) -> None:
+        self.memory[addr:addr + 8] = (value & U64).to_bytes(8, "little")
+
+    def _mem_ok(self, addr: int) -> bool:
+        return addr <= self.mem_size - 8    # addr is unsigned 64-bit
+
+    def _rget(self, rid: int) -> int:
+        return self.registers[rid] if rid != RNONE else 0
+
+    def _rset(self, rid: int, value: int) -> None:
+        if rid != RNONE:
+            self.registers[rid] = value & U64
+
+    def _stop(self, stat: int) -> int:
+        self.stat = stat
+        self.instret += 1
+        return stat
+
+    # -- execution -----------------------------------------------------
+    def step(self) -> int:
+        if self.stat != SAOK:
+            return self.stat
+        pc = self.pc
+        # fetch, with the shared classification order
+        if pc > self.mem_size - 1:
+            return self._stop(SADR)
+        byte0 = self.memory[pc]
+        icode, ifun = byte0 >> 4, byte0 & 0xF
+        if not valid_instruction(icode, ifun):
+            return self._stop(SINS)
+        size = insn_size(icode)
+        if pc + size > self.mem_size:
+            return self._stop(SADR)
+        if icode == IHALT:
+            return self._stop(SHLT)
+        pos = pc + 1
+        ra = rb = RNONE
+        if needs_regids(icode):
+            ra, rb = self.memory[pos] >> 4, self.memory[pos] & 0xF
+            pos += 1
+        valc = self._rd8(pos) if needs_valc(icode) else 0
+        valp = pc + size
+
+        if icode == INOP:
+            self.pc = valp
+        elif icode == IRRMOVQ:
+            if cond(ifun, self.zf, self.sf, self.of):
+                self._rset(rb, self._rget(ra))
+            self.pc = valp
+        elif icode == IIRMOVQ:
+            self._rset(rb, valc)
+            self.pc = valp
+        elif icode == IRMMOVQ:
+            addr = (self._rget(rb) + valc) & U64
+            if not self._mem_ok(addr):
+                return self._stop(SADR)
+            self._wr8(addr, self._rget(ra))
+            self.pc = valp
+        elif icode == IMRMOVQ:
+            addr = (self._rget(rb) + valc) & U64
+            if not self._mem_ok(addr):
+                return self._stop(SADR)
+            self._rset(ra, self._rd8(addr))
+            self.pc = valp
+        elif icode == IOPQ:
+            vale, self.zf, self.sf, self.of = alu(
+                ifun, self._rget(ra), self._rget(rb))
+            self._rset(rb, vale)
+            self.pc = valp
+        elif icode == IJXX:
+            self.pc = valc if cond(ifun, self.zf, self.sf, self.of) \
+                else valp
+        elif icode == ICALL:
+            addr = (self._rget(RSP) - 8) & U64
+            if not self._mem_ok(addr):
+                return self._stop(SADR)
+            self._wr8(addr, valp)
+            self._rset(RSP, addr)
+            self.pc = valc
+        elif icode == IRET:
+            addr = self._rget(RSP)
+            if not self._mem_ok(addr):
+                return self._stop(SADR)
+            valm = self._rd8(addr)
+            self._rset(RSP, addr + 8)
+            self.pc = valm
+        elif icode == IPUSHQ:
+            vala = self._rget(ra)
+            addr = (self._rget(RSP) - 8) & U64
+            if not self._mem_ok(addr):
+                return self._stop(SADR)
+            self._wr8(addr, vala)
+            self._rset(RSP, addr)
+            self.pc = valp
+        elif icode == IPOPQ:
+            addr = self._rget(RSP)
+            if not self._mem_ok(addr):
+                return self._stop(SADR)
+            valm = self._rd8(addr)
+            self._rset(RSP, addr + 8)   # dstE first ...
+            self._rset(ra, valm)        # ... then dstM wins
+            self.pc = valp
+        self.instret += 1
+        return self.stat
+
+    def run(self, max_steps: int = 100_000) -> ArchState:
+        for _ in range(max_steps):
+            if self.step() != SAOK:
+                return self.arch_state()
+        raise RuntimeError(
+            f"reference machine did not stop within {max_steps} steps "
+            f"(pc={self.pc:#x})")
+
+    def arch_state(self) -> ArchState:
+        return ArchState(
+            registers=tuple(self.registers[:15]),
+            zf=self.zf, sf=self.sf, of=self.of,
+            pc=self.pc, stat=self.stat, instret=self.instret,
+            memory=bytes(self.memory),
+        )

@@ -19,6 +19,7 @@ from repro.anvil_designs.streams import (
     passthrough_stream_fifo,
     spill_register,
 )
+from repro.anvil_designs.y86 import y86_core
 from repro.codegen.sysverilog import structural_check
 
 ALL_DESIGNS = {
@@ -34,6 +35,7 @@ ALL_DESIGNS = {
     "axi_mux": axi_mux,
     "alu": pipelined_alu,
     "systolic": systolic_array,
+    "y86": y86_core,
 }
 
 

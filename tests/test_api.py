@@ -118,9 +118,12 @@ class TestScenarioRegistry:
                        "pipeline"):
             assert family in names
             assert f"anvil_{family}" in names
+        for workload in ("sum", "sort", "memcpy"):
+            assert f"y86_{workload}" in names
         assert reg.names("sweep") == ["sweep", "anvil_sweep"]
-        assert set(reg.tags()) == {"rtl", "anvil", "sweep"}
+        assert set(reg.tags()) == {"rtl", "anvil", "sweep", "cpu"}
         assert len(reg.names("anvil", exclude="sweep")) == 6
+        assert reg.names("cpu") == ["y86_sum", "y86_sort", "y86_memcpy"]
         assert list_scenarios() == names
 
     def test_unknown_name_suggests_and_enumerates(self):

@@ -105,6 +105,20 @@ class TestExecutorEquivalence:
                 assert swept[name].waveform.samples \
                     == reference[name].waveform.samples, (executor, name)
 
+    def test_y86_cpu_sweep_survives_the_pickle_boundary(self):
+        """the y86 scenarios rebuild a whole CPU-plus-memory system in
+        the worker from the JobSpec alone; the observables must land
+        byte-identical with the in-process build."""
+        session = Session(SimConfig(**FAST, seed=3))
+        names = ["y86_sum", "y86_memcpy"]
+        reference = session.sweep(names, executor="serial")
+        swept = session.sweep(names, executor="process", **POOL)
+        for name in names:
+            assert swept[name].activity == reference[name].activity
+            assert swept[name].waveform.samples \
+                == reference[name].waveform.samples
+            assert swept[name].sim is None
+
     def test_process_sweep_matches_solo_run(self):
         session = Session(SimConfig(**FAST))
         solo = session.run("streams")

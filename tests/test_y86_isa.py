@@ -1,0 +1,302 @@
+"""The Y86-64 ISA layer (`repro.isa`): the assembler pinned byte-exact
+against the CSAPP worked sum listing, encode/decode as inverses over the
+whole legal instruction space, golden reference-interpreter states for
+every bundled program, and the assembler's source-level error report."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.encoding import (
+    CC_SUFFIXES,
+    ICALL,
+    IJXX,
+    IOPQ,
+    IRRMOVQ,
+    MAX_IFUN,
+    OP_NAMES,
+    RNONE,
+    SADR,
+    SHLT,
+    SINS,
+    U64,
+    Instruction,
+    decode,
+    encode,
+    format_instruction,
+    insn_size,
+    mnemonic,
+    needs_regids,
+    needs_valc,
+    valid_instruction,
+)
+from repro.isa.programs import (
+    BUNDLED,
+    CSAPP_QUADS,
+    bubble_sort_program,
+    memcpy_program,
+    sum_program,
+)
+from repro.isa.reference import MEM_SIZE, ReferenceMachine
+
+# ---------------------------------------------------------------------------
+# the CSAPP worked example, byte for byte
+# ---------------------------------------------------------------------------
+#: the book's asum.ys, verbatim modulo whitespace (SNIPPETS item 3)
+CSAPP_SUM = """\
+# Execution begins at address 0
+    .pos 0
+    irmovq stack, %rsp      # Set up stack pointer
+    call main               # Execute main program
+    halt                    # Terminate program
+
+# Array of 4 elements
+    .align 8
+array:
+    .quad 0x000d000d000d
+    .quad 0x00c000c000c0
+    .quad 0x0b000b000b00
+    .quad 0xa000a000a000
+
+main:
+    irmovq array,%rdi
+    irmovq $4,%rsi
+    call sum                # sum(array, 4)
+    ret
+
+# long sum(long *start, long count)
+sum:
+    irmovq $8,%r8           # Constant 8
+    irmovq $1,%r9           # Constant 1
+    xorq %rax,%rax          # sum = 0
+    andq %rsi,%rsi          # Set CC
+    jmp test                # Goto test
+loop:
+    mrmovq (%rdi),%r10      # Get *start
+    addq %r10,%rax          # Add to sum
+    addq %r8,%rdi           # start++
+    subq %r9,%rsi           # count--
+test:
+    jne loop                # Stop when 0
+    ret                     # Return
+
+# Stack starts here and grows to lower addresses
+    .pos 0x200
+stack:
+"""
+
+#: address -> object bytes from the book's yas listing
+CSAPP_BYTES = {
+    0x000: "30f40002000000000000",
+    0x00A: "803800000000000000",
+    0x013: "00",
+    0x018: "0d000d000d000000",       # array
+    0x038: "30f71800000000000000",   # main
+    0x042: "30f60400000000000000",
+    0x04C: "805600000000000000",
+    0x055: "90",
+    0x056: "30f80800000000000000",   # sum
+    0x060: "30f90100000000000000",
+    0x06A: "6300",
+    0x06C: "6266",
+    0x06E: "708700000000000000",
+    0x077: "50a70000000000000000",   # loop
+    0x081: "60a0",
+    0x083: "6087",
+    0x085: "6196",
+    0x087: "747700000000000000",     # test
+    0x090: "90",
+}
+
+CSAPP_SYMBOLS = {"array": 0x018, "main": 0x038, "sum": 0x056,
+                 "loop": 0x077, "test": 0x087, "stack": 0x200}
+
+
+class TestCsappListing:
+    def test_byte_exact_against_the_book(self):
+        prog = assemble(CSAPP_SUM)
+        for addr, hexpart in CSAPP_BYTES.items():
+            blob = bytes.fromhex(hexpart)
+            assert prog.image[addr:addr + len(blob)] == blob, hex(addr)
+
+    def test_symbol_table_matches_yas(self):
+        prog = assemble(CSAPP_SUM)
+        assert {s: prog.symbols[s] for s in CSAPP_SYMBOLS} \
+            == CSAPP_SYMBOLS
+
+    def test_listing_is_yas_style(self):
+        listing = assemble(CSAPP_SUM).listing()
+        assert "0x00a: 803800000000000000" in listing
+        assert "call main" in listing
+
+    def test_bundled_sum_text_section_matches_the_book(self):
+        """sum_program(CSAPP_QUADS) is the book's program except for
+        the stack position; every byte after the stack-pointer setup
+        must agree with the yas listing."""
+        bundled = assemble(sum_program(CSAPP_QUADS))
+        book = assemble(CSAPP_SUM)
+        assert bundled.image[0x00A:0x091] == book.image[0x00A:0x091]
+
+
+# ---------------------------------------------------------------------------
+# encode/decode are inverses over the legal instruction space
+# ---------------------------------------------------------------------------
+def _canonical_instructions():
+    """Every legal (icode, ifun) with representative operand values,
+    in canonical form (unused fields at their decode defaults)."""
+    out = []
+    for icode, max_ifun in sorted(MAX_IFUN.items()):
+        for ifun in range(max_ifun + 1):
+            ras = (0, 7, 14, RNONE) if needs_regids(icode) else (RNONE,)
+            valcs = (0, 1, 0x123456789ABCDEF0, U64) \
+                if needs_valc(icode) else (0,)
+            for ra in ras:
+                for rb in reversed(ras):
+                    for valc in valcs:
+                        out.append(Instruction(icode=icode, ifun=ifun,
+                                               ra=ra, rb=rb, valc=valc))
+    return out
+
+
+class TestEncodeDecode:
+    def test_decode_inverts_encode_everywhere(self):
+        for ins in _canonical_instructions():
+            blob = encode(ins)
+            assert len(blob) == ins.size == insn_size(ins.icode)
+            assert decode(blob) == ins, format_instruction(ins)
+
+    def test_decode_honours_offset_and_padding(self):
+        ins = Instruction(icode=IJXX, ifun=4, valc=0x77)
+        blob = b"\x00" * 3 + encode(ins) + b"\xff" * 2
+        assert decode(blob, offset=3) == ins
+
+    def test_every_mnemonic_is_distinct(self):
+        names = [mnemonic(icode, ifun)
+                 for icode, mx in MAX_IFUN.items()
+                 for ifun in range(mx + 1)]
+        assert len(names) == len(set(names)) == 27
+        assert set(OP_NAMES) <= set(names)
+        assert {f"j{cc}" for cc in CC_SUFFIXES[1:]} <= set(names)
+
+    def test_illegal_encodings_are_rejected(self):
+        with pytest.raises(ValueError, match="invalid"):
+            encode(Instruction(icode=0xC))          # no such icode
+        with pytest.raises(ValueError, match="invalid"):
+            encode(Instruction(icode=IOPQ, ifun=4))  # ifun out of range
+        with pytest.raises(ValueError, match="illegal"):
+            decode(b"\xc0")
+        with pytest.raises(ValueError, match="truncated"):
+            decode(encode(Instruction(icode=ICALL, valc=0x10))[:-1])
+        with pytest.raises(ValueError, match="past end"):
+            decode(b"", offset=0)
+
+    def test_validity_predicate_matches_the_tables(self):
+        assert valid_instruction(IRRMOVQ, 6)
+        assert not valid_instruction(IRRMOVQ, 7)
+        assert not valid_instruction(0xD, 0)
+
+
+# ---------------------------------------------------------------------------
+# golden reference states for the bundled programs
+# ---------------------------------------------------------------------------
+def _run(source):
+    prog = assemble(source)
+    return ReferenceMachine(prog.image).run(), prog
+
+
+def _signed(v):
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+class TestBundledGoldens:
+    def test_sum_of_the_book_quads(self):
+        state, _ = _run(sum_program(CSAPP_QUADS))
+        assert state.stat == SHLT
+        assert state.registers[0] == sum(CSAPP_QUADS) & U64  # %rax
+        assert state.instret == 34
+        assert state.pc == 0x13                              # the halt
+
+    def test_sort_orders_memory_signed(self):
+        import random
+        rng = random.Random(7)
+        values = [rng.getrandbits(64) for _ in range(6)]
+        state, prog = _run(bubble_sort_program(values))
+        base = prog.symbols["array"]
+        sorted_quads = [
+            int.from_bytes(state.memory[base + 8 * i:base + 8 * i + 8],
+                           "little")
+            for i in range(len(values))
+        ]
+        assert sorted_quads == sorted(values, key=_signed)
+        assert state.stat == SHLT
+        assert state.instret == 172
+
+    def test_memcpy_copies_and_checksums(self):
+        values = [(0x1111111111111111 * i) & U64 for i in range(1, 5)]
+        state, prog = _run(memcpy_program(values))
+        src, dst = prog.symbols["src"], prog.symbols["dst"]
+        span = 8 * len(values)
+        assert state.memory[dst:dst + span] == state.memory[src:src + span]
+        checksum = 0
+        for v in values:
+            checksum = (checksum + v) & U64
+        assert state.registers[0] == checksum
+        assert state.stat == SHLT
+
+    def test_bundled_registry_is_complete(self):
+        assert set(BUNDLED) == {"sum", "sort", "memcpy"}
+        for gen in BUNDLED.values():
+            state, _ = _run(gen([1, 2, 3]))
+            assert state.stat == SHLT
+
+    def test_programs_parameterize_by_mem_size(self):
+        state, prog = _run(sum_program([5, 6], mem_size=2048))
+        assert prog.symbols["stack"] == 2048 - 8
+        assert state.registers[0] == 11
+
+
+# ---------------------------------------------------------------------------
+# the reference machine's fault model
+# ---------------------------------------------------------------------------
+class TestFaults:
+    def test_illegal_opcode_stops_with_ins(self):
+        state = ReferenceMachine(b"\xc0").run()
+        assert (state.stat, state.pc, state.instret) == (SINS, 0, 1)
+
+    def test_out_of_bounds_load_stops_with_adr(self):
+        prog = assemble(
+            f"    irmovq ${MEM_SIZE:#x}, %rcx\n"
+            "    mrmovq (%rcx), %rax\n")
+        state = ReferenceMachine(prog.image).run()
+        assert state.stat == SADR
+        assert state.pc == 10            # the faulting mrmovq
+        assert state.registers[0] == 0   # no architectural effect
+
+    def test_fetch_past_end_stops_with_adr(self):
+        prog = assemble(f"    jmp {MEM_SIZE:#x}\n")
+        state = ReferenceMachine(prog.image).run()
+        assert state.stat == SADR and state.pc == MEM_SIZE
+
+    def test_running_off_the_code_ends_in_ins(self):
+        # pc lands on zeroed memory: icode 0 ifun 0 is halt, so a bare
+        # nop falls through into an implicit halt, not a fault
+        state = ReferenceMachine(b"\x10").run()
+        assert state.stat == SHLT and state.instret == 2
+
+
+# ---------------------------------------------------------------------------
+# assembler error reporting
+# ---------------------------------------------------------------------------
+class TestAssemblerErrors:
+    @pytest.mark.parametrize("source,match", [
+        ("    movq %rax, %rbx\n", "unknown mnemonic"),
+        ("    irmovq $1, %xyz\n", "bad register"),
+        ("    jmp nowhere\n", "undefined symbol"),
+        ("    addq %rax\n", "takes 2"),
+        ("x:\nx:\n", "duplicate label"),
+        ("    .align 0\n", "bad .align"),
+        ("    irmovq $zz, %rax\n", "undefined symbol"),
+    ])
+    def test_source_errors_name_the_line(self, source, match):
+        with pytest.raises(AssemblyError, match=match) as exc:
+            assemble(source)
+        assert "line" in str(exc.value)
