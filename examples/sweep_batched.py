@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Seed sweeps through the columnar lock-step kernels (``--batch``).
+
+A parameter sweep runs the *same* design many times under different
+seeds -- identical topology, divergent data.  The batched cycle kernel
+exploits that: one compiled ``_BATCH_KERNEL`` pass advances M
+same-shape instances lock-step per cycle, and a stop condition
+(``run until this wire goes high``) compiles inline instead of
+re-entering Python after every cycle.
+
+This example runs every scenario family both ways -- M per-instance
+scalar runs, then one lock-step pass -- verifies the observables are
+bit-identical, and prints the throughput of each.
+
+Run:  PYTHONPATH=src python examples/sweep_batched.py
+
+The same machinery backs the public surface::
+
+    repro sweep --seeds 8 --batch 8 --engine kernel
+    REPRO_BATCH=8 python -m repro sweep ...
+    Session(SimConfig(batch=8)).sweep(names, seeds=range(8))
+"""
+
+import time
+
+from repro import Session, SimConfig, get_registry
+from repro.rtl.batch import run_lockstep
+
+M = 8
+CYCLES = 300
+
+session = Session(SimConfig(stim=2 * CYCLES, engine="kernel",
+                            backend="pycompiled"))
+registry = get_registry()
+families = (registry.names("rtl", exclude="sweep")
+            + registry.names("anvil", exclude="sweep"))
+
+print(f"{M}-seed sweep per family, {CYCLES} cycles each "
+      f"(engine=kernel, backend=pycompiled)\n")
+print(f"{'family':16s} {'scalar c/s':>12} {'batched c/s':>12} "
+      f"{'ratio':>6}  identical")
+
+for family in families:
+    scalar = [session.build(family, seed=s) for s in range(M)]
+    t0 = time.perf_counter()
+    for sim in scalar:
+        sim.run(CYCLES)
+    scalar_cps = M * CYCLES / (time.perf_counter() - t0)
+
+    batched = [session.build(family, seed=s) for s in range(M)]
+    t0 = time.perf_counter()
+    result = run_lockstep(batched, CYCLES, width=M)
+    batched_cps = M * CYCLES / (time.perf_counter() - t0)
+
+    identical = all(
+        b.activity == a.activity
+        and b.waveform.samples == a.waveform.samples
+        for a, b in zip(scalar, batched)
+    )
+    assert identical, f"{family}: lock-step diverged from scalar runs"
+    assert all(result.batched), f"{family}: fell back to the scalar path"
+    print(f"{family:16s} {scalar_cps:12.0f} {batched_cps:12.0f} "
+          f"{batched_cps / scalar_cps:5.2f}x  yes")
+
+print("\nevery family's lock-step pass is bit-identical to its "
+      "per-seed scalar runs")
+print("(the first batched pass pays the per-shape kernel compile; "
+      "steady-state sweeps hit the cache)")

@@ -1,8 +1,8 @@
 """``python -m repro`` -- the command-line front end over :mod:`repro.api`.
 
 One option layer (``--engine/--backend/--parallel/--seed/--cycles/
---stim/--trace/--json``) shared by every subcommand, resolved into a
-single :class:`~repro.api.SimConfig` and handed to a
+--stim/--batch/--trace/--json``) shared by every subcommand, resolved
+into a single :class:`~repro.api.SimConfig` and handed to a
 :class:`~repro.api.Session`:
 
 ================  ===========================================================
@@ -42,11 +42,14 @@ from .rtl.simulator import ENGINES
 #: only part of the config expose only that part, so the echoed
 #: ``--json`` config never claims knobs the run ignored
 ALL_FIELDS = ("engine", "backend", "parallel", "executor", "jobs", "seed",
-              "cycles", "stim", "trace")
+              "cycles", "stim", "batch", "trace")
 #: a single scenario run has no sweep to execute, so it neither takes
-#: nor echoes the executor knobs
+#: nor echoes the executor knobs (nor the lock-step batch width)
 RUN_FIELDS = tuple(f for f in ALL_FIELDS
-                   if f not in ("executor", "jobs", "parallel"))
+                   if f not in ("executor", "jobs", "parallel", "batch"))
+#: bench measures each (scenario, config) serially and never batches --
+#: lock-step timing would blend the instances it is trying to compare
+BENCH_FIELDS = tuple(f for f in ALL_FIELDS if f != "batch")
 #: what the harness drivers actually thread through (appendix-a keeps
 #: its own serial-by-design parallel knob, so it exposes only the
 #: engine/backend pair its simulated side consumes)
@@ -91,6 +94,13 @@ def _add_config_options(parser: argparse.ArgumentParser,
     if "stim" in fields:
         g.add_argument("--stim", type=int, default=None,
                        help="stimulus depth override")
+    if "batch" in fields:
+        g.add_argument("--batch", type=int, default=None, metavar="M",
+                       help="lock-step batch width for seed campaigns "
+                            "(sweep --seeds): up to M same-topology "
+                            "instances advance through one compiled "
+                            "kernel pass; $REPRO_BATCH overrides the "
+                            "default of 1")
     if "trace" in fields:
         g.add_argument("--trace", action="store_true", default=False,
                        help="render the ASCII waveform of each run")
@@ -104,7 +114,7 @@ def _add_config_options(parser: argparse.ArgumentParser,
 def _config_from(args: argparse.Namespace) -> SimConfig:
     overrides: Dict[str, object] = {}
     for field in ("engine", "backend", "executor", "jobs", "seed",
-                  "cycles", "stim"):
+                  "cycles", "stim", "batch"):
         value = getattr(args, field, None)
         if value is not None:
             overrides[field] = value
@@ -184,7 +194,11 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     config = args.sim_config
-    results = Session(config).sweep(args.scenarios or None, tag=args.tag)
+    seeds = None
+    if args.seeds:
+        seeds = range(config.seed, config.seed + args.seeds)
+    results = Session(config).sweep(args.scenarios or None, tag=args.tag,
+                                    seeds=seeds)
     if args.json:
         _emit_json(args, _wrap(args, {
             name: r.to_dict() for name, r in results.items()
@@ -327,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="registry names (default: every non-sweep "
                         "scenario, or those matching --tag)")
     p.add_argument("--tag", default=None)
+    p.add_argument("--seeds", type=int, default=0, metavar="N",
+                   help="run each scenario under N consecutive seeds "
+                        "(starting at --seed); combine with --batch M "
+                        "to advance same-topology instances lock-step")
     _add_config_options(p)
     p.set_defaults(fn=cmd_sweep)
 
@@ -339,7 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=1)
     p.add_argument("--no-check", action="store_true",
                    help="skip waveform/activity equivalence checks")
-    _add_config_options(p)
+    _add_config_options(p, fields=BENCH_FIELDS)
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("table1", help="Table 1: area/power/fmax/latency")

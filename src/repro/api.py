@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .codegen.simfsm import BACKENDS
-from .rtl.batch import BatchSimulator, run_batch
+from .rtl.batch import MAX_BATCH, BatchSimulator, _env_batch, run_batch
 from .rtl.executors import EXECUTORS, JobSpec, ScenarioRun
 from .rtl.simulator import ENGINES, Simulator
 from .rtl.waveform import Waveform
@@ -91,6 +91,14 @@ class SimConfig:
         default cycle count for :meth:`Session.run`/:meth:`Session.sweep`;
     ``stim``
         stimulus depth override (``None`` -> each scenario's default);
+    ``batch``
+        lock-step batch width for same-topology sweep instances: a
+        :meth:`Session.sweep` over ``seeds`` groups up to this many
+        instances per scenario into one compiled batched cycle kernel
+        (:mod:`repro.rtl.kernel`).  ``None`` resolves to
+        ``$REPRO_BATCH`` when set, else ``1`` (scalar).  ``brute``-
+        engine runs always stay scalar -- brute is the semantic
+        reference batching is held to;
     ``trace``
         when true, :class:`RunResult` carries the rendered ASCII waveform.
     """
@@ -103,6 +111,7 @@ class SimConfig:
     seed: int = 0
     cycles: int = 1000
     stim: Optional[int] = None
+    batch: Optional[int] = None
     trace: bool = False
 
     def __post_init__(self):
@@ -158,6 +167,15 @@ class SimConfig:
             raise ValueError(
                 f"parallel must be a bool, an int worker count or None, "
                 f"got {self.parallel!r}"
+            )
+        if self.batch is None:
+            # _env_batch raises its own actionable error on junk values
+            object.__setattr__(self, "batch", _env_batch() or 1)
+        if not isinstance(self.batch, int) or isinstance(self.batch, bool) \
+                or not 1 <= self.batch <= MAX_BATCH:
+            raise ValueError(
+                f"batch must be an int width between 1 and {MAX_BATCH}, "
+                f"got {self.batch!r} (did REPRO_BATCH leak a typo?)"
             )
 
     def replace(self, **overrides) -> "SimConfig":
@@ -511,6 +529,7 @@ class Session:
 
     def sweep(self, scenarios: Optional[Sequence[str]] = None,
               tag: Optional[str] = None, cycles: Optional[int] = None,
+              seeds: Optional[Sequence[int]] = None,
               **overrides) -> Dict[str, RunResult]:
         """Run many scenarios as one executor sweep.
 
@@ -521,27 +540,65 @@ class Session:
         and run each scenario from its registry description, so nothing
         unpicklable crosses the pool boundary).
 
-        Returns results keyed by scenario name in selection order; each
-        result's ``seconds`` is the wall-clock of the whole sweep (the
-        scenarios run concurrently, so per-scenario wall-clock is not
-        separable -- ``diagnostics["job_seconds"]`` has each job's own
-        run-phase timing).
+        ``seeds`` turns the sweep into a stimulus campaign: every
+        scenario runs once per seed, keyed ``"name@s<seed>"``.  With
+        ``config.batch > 1`` (or ``REPRO_BATCH``), each scenario's
+        seeds are grouped into lock-step batches of up to ``batch``
+        instances advancing through one compiled batched kernel pass
+        per group (``run_scenario_batch`` jobs) -- M-way vectorization
+        inside each executor job, composing with P-way processes across
+        jobs.  Result keys and values are identical either way (batched
+        runs are pinned bit-equal to scalar ones); ``brute``-engine
+        campaigns always take the scalar path.
+
+        Returns results keyed in selection order; each result's
+        ``seconds`` is the wall-clock of the whole sweep (the scenarios
+        run concurrently, so per-scenario wall-clock is not separable
+        -- ``diagnostics["job_seconds"]`` has each job's own run-phase
+        timing).
         """
         cfg = resolve_config(self.config, cycles=cycles, **overrides)
         names = self._select(scenarios, tag)
-        specs = [
-            JobSpec(kind="run_scenario", name=name, scenario=name,
-                    config=cfg)
-            for name in names
-        ]
+        if seeds is None:
+            specs = [
+                JobSpec(kind="run_scenario", name=name, scenario=name,
+                        config=cfg)
+                for name in names
+            ]
+            keys = {name: name for name in names}
+        else:
+            seeds = list(seeds)
+            specs = []
+            keys = {}            # result key -> (job name, index or None)
+            if cfg.batch > 1 and cfg.engine != "brute":
+                for name in names:
+                    for j in range(0, len(seeds), cfg.batch):
+                        group = seeds[j:j + cfg.batch]
+                        spec_name = f"{name}@g{j // cfg.batch}"
+                        specs.append(JobSpec(
+                            kind="run_scenario_batch", name=spec_name,
+                            scenario=name, config=cfg,
+                            params=(("seeds", tuple(group)),)))
+                        for pos, s in enumerate(group):
+                            keys[f"{name}@s{s}"] = (spec_name, pos)
+            else:
+                for name in names:
+                    for s in seeds:
+                        spec_name = f"{name}@s{s}"
+                        specs.append(JobSpec(
+                            kind="run_scenario", name=spec_name,
+                            scenario=name, config=cfg.replace(seed=s)))
+                        keys[spec_name] = spec_name
         t0 = time.perf_counter()
         runs = run_batch(specs, **pool_args(cfg))
         elapsed = time.perf_counter() - t0
-        return {
-            name: _result_from_scenario_run(
-                cfg, runs[name], elapsed, {"sweep_size": len(names)})
-            for name in names
-        }
+        diag = {"sweep_size": len(keys)}
+        out = {}
+        for key, where in keys.items():
+            run = runs[where] if isinstance(where, str) \
+                else runs[where[0]][where[1]]
+            out[key] = _result_from_scenario_run(cfg, run, elapsed, diag)
+        return out
 
     # -- benchmarking --------------------------------------------------
     def bench(self, scenarios: Optional[Sequence[str]] = None,
@@ -559,7 +616,10 @@ class Session:
         waveform/activity equivalence between the two runs.
 
         Every (scenario, config) measurement is one ``bench_scenario``
-        :class:`~repro.rtl.executors.JobSpec`.  The measurement executor
+        :class:`~repro.rtl.executors.JobSpec`; each runs one untimed
+        warm-up iteration first so compile costs (pycompiled sources,
+        cycle kernels) never pollute the timed repeats.  The measurement
+        executor
         defaults to ``serial`` regardless of the session config --
         timing jobs interleaved under the GIL would corrupt each other's
         cycles/second -- and must be requested explicitly (``process``

@@ -221,12 +221,50 @@ def _run_scenario(spec: JobSpec) -> ScenarioRun:
     return scenario_run_of(sim, spec.scenario, cycles, elapsed, trace)
 
 
+@job_kind("run_scenario_batch")
+def _run_scenario_batch(spec: JobSpec) -> Tuple[ScenarioRun, ...]:
+    """Build one scenario once per seed and advance every instance
+    lock-step through the batched cycle kernel.
+
+    Params: ``seeds`` -- the per-instance stimulus seeds, in result
+    order.  Returns one :class:`ScenarioRun` per seed; the lock-step
+    pass is bit-identical to per-seed ``run_scenario`` jobs (the batch
+    layer peels anything the compiled kernel cannot take onto the
+    scalar path), so results are interchangeable with scalar sweeps.
+    The recorded ``seconds`` is the whole batch's wall-clock divided
+    evenly -- per-instance time is not separable inside one kernel pass.
+    """
+    from ..api import get_registry
+    from .batch import run_lockstep
+
+    cfg = spec.config
+    seeds = spec.param("seeds", ())
+    cycles = spec.run_cycles
+    registry = get_registry()
+    sims = [registry.build(spec.scenario, cfg.replace(seed=s))
+            for s in seeds]
+    t0 = time.perf_counter()
+    run_lockstep(sims, cycles, width=getattr(cfg, "batch", None))
+    elapsed = time.perf_counter() - t0
+    share = elapsed / max(len(sims), 1)
+    trace = getattr(cfg, "trace", False)
+    return tuple(
+        scenario_run_of(sim, spec.scenario, cycles, share,
+                        sim.waveform.render() if trace else None)
+        for sim in sims
+    )
+
+
 @job_kind("bench_scenario")
 def _bench_scenario(spec: JobSpec) -> ScenarioRun:
     """Best-of-N cycles/second measurement of one scenario x config.
 
     Params: ``warmup`` (cycles run before timing starts) and ``repeats``
     (the run is rebuilt from scratch each repeat; the best rate wins).
+    One untimed warm-up iteration runs first so one-time compile costs
+    (pycompiled sources, cycle kernels) land outside every timed
+    repeat -- without it, first-repeat compile time showed up as
+    inflated variance on small-cycle scenarios.
     """
     from ..api import get_registry
 
@@ -234,6 +272,8 @@ def _bench_scenario(spec: JobSpec) -> ScenarioRun:
     warmup = spec.param("warmup", 20)
     repeats = max(spec.param("repeats", 1), 1)
     cycles = spec.run_cycles
+    sim = get_registry().build(spec.scenario, cfg)
+    sim.run(warmup + cycles)                 # untimed: compile caches warm
     best_elapsed, sim = float("inf"), None
     for _ in range(repeats):
         sim = get_registry().build(spec.scenario, cfg)

@@ -108,6 +108,48 @@ class TestSimConfig:
 
 
 # ---------------------------------------------------------------------------
+# environment knobs: junk values fail loudly, never fall back silently
+# ---------------------------------------------------------------------------
+class TestEnvKnobGarbage:
+    """Every ``REPRO_*`` tuning knob rejects garbage with one clear
+    ValueError naming the variable and echoing the offending value --
+    a typo'd override must never silently run the default path."""
+
+    KNOBS = ("REPRO_BATCH", "REPRO_ENGINE", "REPRO_EXECUTOR",
+             "REPRO_PARALLEL")
+
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        for var in self.KNOBS:
+            monkeypatch.delenv(var, raising=False)
+
+    @pytest.mark.parametrize("var", ["REPRO_BATCH", "REPRO_ENGINE",
+                                     "REPRO_EXECUTOR"])
+    def test_config_construction_rejects_garbage(self, var, monkeypatch):
+        monkeypatch.setenv(var, "garbage?!")
+        with pytest.raises(ValueError, match=var) as exc:
+            SimConfig()
+        assert "garbage?!" in str(exc.value)
+
+    def test_sweep_rejects_garbage_parallel(self, monkeypatch):
+        # REPRO_PARALLEL is read at pool-sizing time, not construction
+        monkeypatch.setenv("REPRO_PARALLEL", "garbage?!")
+        session = Session(SimConfig(**FAST))
+        with pytest.raises(ValueError, match="REPRO_PARALLEL") as exc:
+            session.sweep(["streams"])
+        assert "garbage?!" in str(exc.value)
+
+    @pytest.mark.parametrize("var", ["REPRO_BATCH", "REPRO_ENGINE",
+                                     "REPRO_EXECUTOR", "REPRO_PARALLEL"])
+    def test_cli_reports_garbage_and_exits_two(self, var, monkeypatch,
+                                               capsys):
+        monkeypatch.setenv(var, "garbage?!")
+        assert cli_main(["run", "streams", "--cycles", "5"]) == 2
+        err = capsys.readouterr().err
+        assert var in err and "garbage?!" in err
+
+
+# ---------------------------------------------------------------------------
 # the registry
 # ---------------------------------------------------------------------------
 class TestScenarioRegistry:

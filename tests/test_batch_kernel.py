@@ -1,0 +1,369 @@
+"""Lock-step batched cycle kernels (``repro.rtl.batch.run_lockstep``
+and the columnar ``_BATCH_KERNEL`` emitter): bit-identical observables
+against per-instance scalar runs across every registry scenario, both
+FSM backends and all executors; compiled stop-condition semantics
+pinned to the interpreted per-cycle reference (including per-slot
+peeling); the fallback discipline (brute engine, monitors, mixed
+shapes, singleton chunks, unregistered stop wires); the ``batch``
+config knob and ``REPRO_BATCH``; the layout-tagged compile cache; and
+the batched differential-fuzzing path."""
+
+import pytest
+
+from repro import Session, SimConfig, SimulationError, Simulator, get_registry
+from repro.rtl import kernel
+from repro.rtl.batch import (
+    MAX_BATCH,
+    StopCondition,
+    _env_batch,
+    run_lockstep,
+    run_stop_scalar,
+)
+from repro.rtl.testing import PortSink, PortSource, make_port
+
+ALL_SCENARIOS = get_registry().names()
+M = 3
+
+
+def _fleet(name, m=M, cycles=0, **config):
+    """``m`` same-topology instances (seeds ``0..m-1``), optionally
+    pre-advanced ``cycles`` each."""
+    sims = [get_registry().build(name, SimConfig(seed=s, **config))
+            for s in range(m)]
+    for sim in sims:
+        if cycles:
+            sim.run(cycles)
+    return sims
+
+
+def _state(sim):
+    return (sim.cycle, sim.waveform.samples, sim.activity,
+            sim.total_activity())
+
+
+def _states(sims):
+    return [_state(s) for s in sims]
+
+
+def _counter_fleet(m=M, engine="kernel", depth=60):
+    """``m`` small source->sink pipelines whose ``data`` wire steps
+    through ``1..depth`` -- a deterministic target for stop conditions.
+    Returns ``(sims, data_wires)``."""
+    sims, wires = [], []
+    for _ in range(m):
+        sim = Simulator(engine=engine)
+        port = make_port("p", 8)
+        src = PortSource("src", port)
+        src.push(*range(1, depth + 1))
+        sink = PortSink("sink", port)
+        sim.add(src)
+        sim.add(sink)
+        sim.watch(port.data, "data")
+        sims.append(sim)
+        wires.append(port.data)
+    return sims, wires
+
+
+# ---------------------------------------------------------------------------
+# equivalence: every scenario, both backends, all executors
+# ---------------------------------------------------------------------------
+class TestLockstepEquivalence:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_all_scenarios_bit_identical_to_scalar_runs(self, name):
+        ref = _fleet(name, cycles=60, stim=150, engine="kernel",
+                     backend="pycompiled")
+        sims = _fleet(name, stim=150, engine="kernel",
+                      backend="pycompiled")
+        res = run_lockstep(sims, 60)
+        assert _states(sims) == _states(ref)
+        assert res.cycles == [60] * M
+        assert res.stopped == [False] * M
+        assert all(res.batched) and res.groups == 1
+
+    @pytest.mark.parametrize("name", ["streams", "anvil_aes", "y86_sum"])
+    def test_interp_backend_bit_identical(self, name):
+        ref = _fleet(name, cycles=40, stim=120, engine="kernel",
+                     backend="interp")
+        sims = _fleet(name, stim=120, engine="kernel", backend="interp")
+        res = run_lockstep(sims, 40)
+        assert _states(sims) == _states(ref)
+        assert all(res.batched)
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_sweep_seeds_bit_identical_across_executors(self, executor):
+        names = ["streams", "anvil_mmu"]
+        seeds = [2, 3, 4]
+        reference = Session(SimConfig(
+            seed=0, stim=120, engine="kernel", backend="pycompiled",
+            executor="serial", batch=1,
+        )).sweep(names, cycles=50, seeds=seeds)
+        batched = Session(SimConfig(
+            seed=0, stim=120, engine="kernel", backend="pycompiled",
+            executor=executor, jobs=2, batch=3,
+        )).sweep(names, cycles=50, seeds=seeds)
+        assert set(batched) == set(reference) == {
+            f"{n}@s{s}" for n in names for s in seeds
+        }
+        for key, ref in reference.items():
+            assert batched[key].activity == ref.activity
+            assert (batched[key].waveform.samples
+                    == ref.waveform.samples)
+
+    def test_resumes_and_interleaves_with_scalar_running(self):
+        # lock-step passes and plain run() calls can alternate freely
+        ref = _fleet("memory", cycles=50, stim=160, engine="kernel")
+        sims = _fleet("memory", stim=160, engine="kernel")
+        run_lockstep(sims, 20)
+        for sim in sims:
+            sim.run(7)
+        run_lockstep(sims, 23)
+        assert _states(sims) == _states(ref)
+
+
+# ---------------------------------------------------------------------------
+# stop conditions: compiled in-kernel checks vs the interpreted loop
+# ---------------------------------------------------------------------------
+class TestStopConditions:
+    def _scalar_reference(self, op, values, cycles=50, m=M):
+        sims, wires = _counter_fleet(m)
+        outs = [
+            run_stop_scalar(
+                sims[k], cycles,
+                StopCondition(op, [wires[k]],
+                              None if op == "nonzero" else [values[k]]),
+                0)
+            for k in range(m)
+        ]
+        return outs, _states(sims)
+
+    @pytest.mark.parametrize("op,values", [
+        ("eq", [5, 9, 13]),
+        ("ne", [0, 0, 0]),
+        ("nonzero", [None, None, None]),
+    ])
+    def test_ops_match_the_interpreted_reference(self, op, values):
+        ref_outs, ref_states = self._scalar_reference(op, values)
+        sims, wires = _counter_fleet()
+        stop = StopCondition(op, wires,
+                             None if op == "nonzero" else values)
+        res = run_lockstep(sims, 50, stop=stop)
+        assert list(zip(res.cycles, res.stopped)) == ref_outs
+        assert _states(sims) == ref_states
+        assert all(res.batched)
+
+    def test_slots_peel_at_their_own_cycles(self):
+        # staggered targets: each slot leaves the batch the cycle its
+        # own condition first holds while the others keep lock-step
+        sims, wires = _counter_fleet()
+        res = run_lockstep(sims, 50,
+                           stop=StopCondition("eq", wires, [13, 5, 9]))
+        assert res.stopped == [True] * M
+        # later targets stop later; the peel order follows the values
+        assert res.cycles[1] < res.cycles[2] < res.cycles[0]
+
+    def test_never_firing_stop_runs_the_full_budget(self):
+        ref = _fleet("streams", cycles=40, stim=120, engine="kernel")
+        sims = _fleet("streams", stim=120, engine="kernel")
+        wires = []
+        for sim in sims:
+            sim.scheduler._ensure_built()
+            wires.append(sim.scheduler._wires[0])
+        res = run_lockstep(sims, 40,
+                           stop=StopCondition("eq", wires, [-1] * M))
+        assert res.cycles == [40] * M
+        assert res.stopped == [False] * M
+        assert _states(sims) == _states(ref)
+
+    def test_condition_already_true_on_entry(self):
+        # the contract is post-cycle checking: a condition that holds
+        # before the first cycle still advances exactly one cycle,
+        # batched and scalar alike
+        sims, wires = _counter_fleet()
+        scalar_sims, scalar_wires = _counter_fleet()
+        scalar = [run_stop_scalar(scalar_sims[k], 30,
+                                  StopCondition("ne", [scalar_wires[k]],
+                                                [255]), 0)
+                  for k in range(M)]
+        res = run_lockstep(sims, 30,
+                           stop=StopCondition("ne", wires, [255] * M))
+        assert list(zip(res.cycles, res.stopped)) == scalar
+        assert _states(sims) == _states(scalar_sims)
+
+    def test_stop_validation(self):
+        sims, wires = _counter_fleet()
+        with pytest.raises(ValueError, match="unknown stop op"):
+            StopCondition("gt", wires, [1, 2, 3])
+        with pytest.raises(ValueError, match="comparison value"):
+            StopCondition("eq", wires)
+        with pytest.raises(ValueError, match="comparison value"):
+            StopCondition("eq", wires, [1])
+        stop = StopCondition("eq", wires[:2], [1, 2])
+        with pytest.raises(ValueError, match="2 instance"):
+            run_lockstep(sims, 10, stop=stop)
+
+
+# ---------------------------------------------------------------------------
+# fallback discipline
+# ---------------------------------------------------------------------------
+class TestFallbacks:
+    def test_brute_engine_stays_scalar(self):
+        ref = _fleet("streams", cycles=30, stim=120, engine="brute")
+        sims = _fleet("streams", stim=120, engine="brute")
+        res = run_lockstep(sims, 30)
+        assert res.batched == [False] * M
+        assert res.cycles == [30] * M
+        assert _states(sims) == _states(ref)
+
+    def test_monitored_instance_peels_to_scalar(self):
+        seen = []
+        ref = _fleet("streams", cycles=30, stim=120, engine="kernel")
+        sims = _fleet("streams", stim=120, engine="kernel")
+        sims[0].on_cycle(seen.append)
+        res = run_lockstep(sims, 30)
+        assert res.batched == [False, True, True]
+        assert seen == list(range(30))  # the monitor saw every cycle
+        assert _states(sims) == _states(ref)
+
+    def test_mixed_shapes_group_separately(self):
+        ref = (_fleet("streams", m=2, cycles=30, stim=120,
+                      engine="kernel")
+               + _fleet("memory", m=2, cycles=30, stim=120,
+                        engine="kernel"))
+        sims = (_fleet("streams", m=2, stim=120, engine="kernel")
+                + _fleet("memory", m=2, stim=120, engine="kernel"))
+        res = run_lockstep(sims, 30)
+        assert res.groups == 2
+        assert res.batched == [True] * 4
+        assert _states(sims) == _states(ref)
+
+    def test_width_chunks_the_group(self):
+        sims = _fleet("streams", m=4, stim=120, engine="kernel")
+        res = run_lockstep(sims, 20, width=2)
+        assert res.groups == 2 and all(res.batched)
+        assert _states(sims) == _states(
+            _fleet("streams", m=4, cycles=20, stim=120, engine="kernel"))
+
+    def test_width_one_means_all_scalar(self):
+        sims = _fleet("streams", m=2, stim=120, engine="kernel")
+        res = run_lockstep(sims, 20, width=1)
+        assert res.batched == [False, False]
+        assert res.groups == 0
+
+    def test_singleton_group_stays_scalar(self):
+        sims = (_fleet("streams", m=2, stim=120, engine="kernel")
+                + _fleet("memory", m=1, stim=120, engine="kernel"))
+        res = run_lockstep(sims, 20)
+        assert res.batched == [True, True, False]
+
+    def test_foreign_stop_wire_forces_scalar(self):
+        # a stop wire outside its simulator's scheduler table cannot be
+        # compiled into the batch; the instance runs the interpreted
+        # loop (which reads the wire object directly) instead
+        sims, wires = _counter_fleet()
+        foreign = wires[0]
+        res = run_lockstep(sims, 50, stop=StopCondition(
+            "eq", [wires[0], wires[1], foreign], [5, 5, 5]))
+        assert res.batched[2] is False
+        assert res.batched[0] and res.batched[1]
+
+    def test_detached_simulator_raises_like_scalar_run(self):
+        sim = Simulator("remote", engine="kernel")
+        sim.adopt_remote(10, {("m", "w"): 3}, {"sig": [1] * 10})
+        with pytest.raises(SimulationError, match="adopted a remote run"):
+            run_lockstep([sim], 5)
+
+
+# ---------------------------------------------------------------------------
+# the batch knob: SimConfig field and REPRO_BATCH
+# ---------------------------------------------------------------------------
+class TestBatchKnob:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert _env_batch() is None
+        for text in ("", "  ", "auto", "AUTO"):
+            monkeypatch.setenv("REPRO_BATCH", text)
+            assert _env_batch() is None
+        monkeypatch.setenv("REPRO_BATCH", "8")
+        assert _env_batch() == 8
+        for junk in ("0", "-2", "wide", "3.5", str(MAX_BATCH + 1)):
+            monkeypatch.setenv("REPRO_BATCH", junk)
+            with pytest.raises(ValueError, match="REPRO_BATCH"):
+                _env_batch()
+
+    def test_config_default_resolves_from_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert SimConfig().batch == 1
+        monkeypatch.setenv("REPRO_BATCH", "16")
+        assert SimConfig().batch == 16
+        # an explicit value beats the environment
+        assert SimConfig(batch=4).batch == 4
+        monkeypatch.setenv("REPRO_BATCH", "not-a-width")
+        with pytest.raises(ValueError, match="REPRO_BATCH"):
+            SimConfig()
+
+    @pytest.mark.parametrize("bad", [0, -3, "wide", True, MAX_BATCH + 1])
+    def test_invalid_batch_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            SimConfig(batch=bad)
+
+
+# ---------------------------------------------------------------------------
+# the layout-tagged compile cache
+# ---------------------------------------------------------------------------
+class TestLayoutCache:
+    def test_scalar_and_batched_kernels_coexist(self):
+        kernel.clear_cache()
+        _fleet("streams", m=1, cycles=10, stim=120, engine="kernel")
+        sims = _fleet("streams", stim=120, engine="kernel")
+        run_lockstep(sims, 10)
+        stats = kernel.cache_stats()
+        assert stats["layouts"]["scalar"]["entries"] >= 1
+        assert stats["layouts"]["batch"]["entries"] >= 1
+        assert stats["entries"] == (
+            stats["layouts"]["scalar"]["entries"]
+            + stats["layouts"]["batch"]["entries"])
+
+    def test_second_fleet_hits_the_batch_cache(self):
+        kernel.clear_cache()
+        run_lockstep(_fleet("streams", stim=120, engine="kernel"), 10)
+        before = kernel.cache_stats()["layouts"]["batch"]
+        run_lockstep(_fleet("streams", stim=120, engine="kernel"), 10)
+        after = kernel.cache_stats()["layouts"]["batch"]
+        assert after["entries"] == before["entries"]
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_widths_and_stop_shapes_are_distinct_entries(self):
+        kernel.clear_cache()
+        run_lockstep(_fleet("streams", m=2, stim=120,
+                            engine="kernel"), 5)
+        run_lockstep(_fleet("streams", m=3, stim=120,
+                            engine="kernel"), 5)
+        sims = _fleet("streams", m=2, stim=120, engine="kernel")
+        wires = []
+        for sim in sims:
+            sim.scheduler._ensure_built()
+            wires.append(sim.scheduler._wires[0])
+        run_lockstep(sims, 5, stop=StopCondition("eq", wires, [-1, -1]))
+        assert kernel.cache_stats()["layouts"]["batch"]["entries"] == 3
+
+
+# ---------------------------------------------------------------------------
+# the batched differential-fuzzing path
+# ---------------------------------------------------------------------------
+class TestBatchedFuzz:
+    def test_batched_fuzz_matches_scalar(self):
+        from repro.isa.fuzz import run_fuzz
+
+        scalar = run_fuzz(5, seed=11, engines=("kernel",), batch=1)
+        batched = run_fuzz(5, seed=11, engines=("kernel",), batch=3)
+        # identical cases pass with identical architectural outcomes;
+        # the cycle counts differ by design: the scalar path's
+        # run_to_halt advances in chunks (so its count overshoots to
+        # the chunk boundary) while the lock-step stop peels the exact
+        # halt cycle
+        assert [(r.seed, r.instret, r.stat) for r in batched] \
+            == [(r.seed, r.instret, r.stat) for r in scalar]
+        for b, s in zip(batched, scalar):
+            (label, exact), = b.cycles.items()
+            assert 0 < exact <= s.cycles[label]
