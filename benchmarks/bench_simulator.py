@@ -538,6 +538,10 @@ def main(argv=None):
             # so an unverified blob can't masquerade as a verified one
             "equivalent": ok if check else None,
         }
+        # the embedded config is the same pinned wire schema the server
+        # and the CLI speak (SimConfig.to_json/from_json); a blob that
+        # stopped round-tripping would silently orphan old records
+        assert SimConfig.from_dict(blob["sim_config"]) == base_cfg
         with open(args.json, "w") as fh:
             json.dump(blob, fh, indent=2, sort_keys=True)
         print(f"wrote {args.json}")

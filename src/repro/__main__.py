@@ -15,6 +15,7 @@ into a single :class:`~repro.api.SimConfig` and handed to a
 ``table2``          Table 2 (real-world hazard case studies)
 ``figures``         Figures 1, 2, 4, 5, 6, 8
 ``appendix-a``      Appendix A (typecheck vs bounded model checking)
+``serve``           long-lived simulation service (:mod:`repro.server`)
 ================  ===========================================================
 
 ``--json`` (optionally ``--json PATH``) emits the machine-readable form
@@ -29,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import statistics
 import sys
 from typing import Dict, List, Optional
@@ -311,6 +313,15 @@ def cmd_appendix_a(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    config = args.sim_config
+    Session(config).serve(
+        host=args.host, port=args.port, queue_depth=args.queue_depth,
+        workers=args.workers, retry_after=args.retry_after,
+        trace_depth=args.trace_buffer)
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser assembly
 # ---------------------------------------------------------------------------
@@ -381,11 +392,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_options(p, fields=("engine", "backend"))
     p.set_defaults(fn=cmd_appendix_a)
 
+    p = sub.add_parser(
+        "serve",
+        help="serve the registry as a long-lived simulation service "
+             "(HTTP job queue + WebSocket trace streams)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 picks a free one; default 8642)")
+    p.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                   help="max queued (not yet running) jobs before "
+                        "submissions get 429 backpressure (default 16)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="job worker threads sharing the process-wide "
+                        "warm compile caches (default 2)")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="Retry-After hint sent with 429 (default 1)")
+    p.add_argument("--trace-buffer", type=int, default=4096, metavar="N",
+                   help="per-job trace ring depth; slow WebSocket "
+                        "consumers drop (and are told they dropped) "
+                        "deltas beyond this (default 4096)")
+    _add_config_options(p, fields=ALL_FIELDS)
+    p.set_defaults(fn=cmd_serve)
+
     return parser
+
+
+def _raise_keyboard_interrupt(signum, frame):
+    raise KeyboardInterrupt
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        # SIGTERM takes the same clean-exit path as Ctrl-C.  (The serve
+        # subcommand swaps in its own loop-level handlers for a drained
+        # shutdown; this covers every batch subcommand.)
+        signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except (ValueError, OSError):
+        pass                     # non-main thread or exotic platform
     try:
         # surface environment-variable garbage before any work starts
         from .rtl.batch import _env_parallel
@@ -402,6 +447,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # real defect and should traceback
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Ctrl-C / SIGTERM mid-run: a deliberate stop, not a defect --
+        # exit with the conventional 130 and no traceback
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import dataclasses
 import difflib
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -198,6 +199,27 @@ class SimConfig:
             )
         return cls(**data)
 
+    def to_json(self) -> str:
+        """The canonical JSON form: sorted keys, compact separators.
+
+        This is the pinned wire schema -- the server, the CLI ``--json``
+        paths and the benchmark blobs all serialize configs through
+        here, and the server's result cache uses the canonical text as
+        key material (equal configs always hash equally)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimConfig":
+        """Inverse of :meth:`to_json` (re-validated on construction)."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"SimConfig JSON must decode to an object, got "
+                f"{type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
 
 def resolve_config(config: Union["SimConfig", "Session", None] = None,
                    **overrides) -> SimConfig:
@@ -291,6 +313,10 @@ class ScenarioRegistry:
         self._scenarios[name] = sc
         return sc
 
+    def remove(self, name: str) -> bool:
+        """Drop a registered scenario; True if it was present."""
+        return self._scenarios.pop(name, None) is not None
+
     # -- lookup --------------------------------------------------------
     def get(self, name: str) -> Scenario:
         try:
@@ -381,8 +407,15 @@ class RunResult:
     def cycles_per_second(self) -> float:
         return self.cycles / self.seconds if self.seconds > 0 else 0.0
 
-    def to_dict(self, include_activity: bool = False) -> Dict[str, object]:
-        """A JSON-serializable summary (the CLI ``--json`` shape)."""
+    def to_dict(self, include_activity: bool = False,
+                include_samples: bool = False) -> Dict[str, object]:
+        """The pinned JSON-serializable schema of one run.
+
+        This one shape is the CLI ``--json`` output, the server wire
+        format and the benchmark record: activity keys flatten to
+        ``"module/wire"`` strings, waveform samples (when asked for)
+        ride along as ``{label: [value, ...]}``.  :meth:`from_dict`
+        inverts it."""
         out: Dict[str, object] = {
             "scenario": self.scenario,
             "config": self.config.to_dict(),
@@ -397,9 +430,59 @@ class RunResult:
                 f"{module}/{wire}": count
                 for (module, wire), count in sorted(self.activity.items())
             }
+        if include_samples:
+            out["samples"] = {
+                label: list(series)
+                for label, series in sorted(self.waveform.samples.items())
+            }
         if self.trace is not None:
             out["trace"] = self.trace
         return out
+
+    def to_json(self) -> str:
+        """The full wire form: :meth:`to_dict` with activity and
+        samples included, canonically encoded.  Round-trips through
+        :meth:`from_json` bit-identically on every observable (cycles,
+        activity, samples, trace)."""
+        return json.dumps(
+            self.to_dict(include_activity=True, include_samples=True),
+            sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from its :meth:`to_dict` form.
+
+        The reconstructed result carries the sampled waveform data but
+        no live simulator (``sim`` is ``None``) -- it is the shape a
+        server client receives.  ``cycles_per_second`` is a derived
+        property and is recomputed, not read back."""
+        activity: Dict[Tuple[str, str], int] = {}
+        for key, count in (data.get("activity") or {}).items():
+            module, _, wire = key.partition("/")
+            activity[(module, wire)] = count
+        waveform = Waveform()
+        waveform.samples = {
+            label: list(series)
+            for label, series in (data.get("samples") or {}).items()
+        }
+        config = data.get("config")
+        return cls(
+            scenario=data["scenario"],
+            config=SimConfig.from_dict(config)
+            if isinstance(config, dict) else config,
+            cycles=data["cycles"],
+            total_activity=data["total_activity"],
+            activity=activity,
+            waveform=waveform,
+            seconds=data.get("seconds", 0.0),
+            trace=data.get("trace"),
+            diagnostics=dict(data.get("diagnostics") or {}),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
 
 def _result_of(name: str, config: SimConfig, sim: Simulator,
@@ -658,6 +741,30 @@ class Session:
                 "equivalent": equivalent if check else None,
             })
         return rows
+
+    # -- serving -------------------------------------------------------
+    def serve(self, host: str = "127.0.0.1", port: int = 8642,
+              queue_depth: int = 16, workers: int = 2,
+              background: bool = False, **server_kwargs):
+        """Serve this session's config as a long-lived simulation
+        service (:mod:`repro.server`): HTTP endpoints for the scenario
+        registry and job submission, WebSocket trace streaming, one
+        process-wide warm compile cache shared by every worker.
+
+        Blocking by default (returns after a clean SIGINT/SIGTERM
+        shutdown); ``background=True`` instead starts the server on a
+        daemon thread and returns the live
+        :class:`~repro.server.ReproServer` (call ``.close()`` when
+        done) -- the shape tests and notebooks want."""
+        from .server import ReproServer
+
+        server = ReproServer(config=self.config, host=host, port=port,
+                             queue_depth=queue_depth, workers=workers,
+                             **server_kwargs)
+        if background:
+            return server.start_in_thread()
+        server.serve_forever()
+        return server
 
     # -- the paper harnesses -------------------------------------------
     def table1(self, fast: bool = False):

@@ -370,10 +370,21 @@ class ThreadExecutor:
         jobs = list(jobs)
         if self.workers <= 1 or len(jobs) <= 1:
             return SerialExecutor().run(jobs)
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+        pool = ThreadPoolExecutor(max_workers=self.workers)
+        try:
             futures = [(name, pool.submit(thunk))
                        for name, thunk in map(_job_parts, jobs)]
-            return {name: fut.result() for name, fut in futures}
+            results = {name: fut.result() for name, fut in futures}
+        except KeyboardInterrupt:
+            # a deliberate stop: abandon queued work instead of letting
+            # pool teardown block on it (the CLI reports and exits 130)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        except BaseException:
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+        pool.shutdown()
+        return results
 
 
 def _chunked(items: List, size: int) -> List[List]:
@@ -410,8 +421,17 @@ def _worker_init(warm: List[Tuple[str, object]]) -> None:
     and its source depends only on the topology shape -- which stimulus
     depth does not change -- so the warm build's kernel is the real
     job's cache hit."""
+    import signal
+
     from ..api import get_registry
 
+    # fork workers inherit the CLI's SIGTERM->KeyboardInterrupt mapping,
+    # which would turn Process.terminate() into "abort this chunk, start
+    # the next queued one"; pool workers must actually die on SIGTERM
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
     registry = get_registry()
     for scenario, cfg in warm:
         try:
@@ -489,18 +509,38 @@ class ProcessExecutor:
             warm = _warm_specs(jobs)
         chunks = _chunked(jobs, self._chunk_size(len(jobs)))
         results: Dict[str, object] = {}
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=min(self.workers, len(chunks)),
             mp_context=ctx,
             initializer=_worker_init,
             initargs=(warm,),
-        ) as pool:
+        )
+        try:
             futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
             for chunk, fut in zip(chunks, futures):
                 for spec, (status, payload) in zip(chunk, fut.result()):
                     if status == "err":
                         _raise_outcome(spec.name, payload)
                     results[spec.name] = payload
+        except KeyboardInterrupt:
+            # a deliberate stop: cancel queued chunks AND terminate the
+            # workers mid-chunk. A terminal Ctrl-C delivers SIGINT to
+            # the whole foreground group, but a bare signal to the
+            # parent does not -- without the terminate, interpreter
+            # exit blocks joining workers still grinding their chunk.
+            # (snapshot first: shutdown() clears pool._processes; kill,
+            # not terminate -- a still-inherited SIGTERM handler would
+            # let the worker survive and pick up the next queued chunk)
+            workers = dict(getattr(pool, "_processes", None) or {})
+            pool.shutdown(wait=False, cancel_futures=True)
+            for worker in workers.values():
+                if worker.is_alive():
+                    worker.kill()
+            raise
+        except BaseException:
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+        pool.shutdown()
         return results
 
 

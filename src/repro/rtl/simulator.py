@@ -87,8 +87,22 @@ class Simulator:
         self.waveform.watch(wire, label)
 
     def on_cycle(self, fn: Callable[[int], None]):
-        """Register a monitor callback invoked after each settle phase."""
+        """Register a monitor callback invoked after each settle phase.
+
+        While any monitor is registered the compiled cycle-kernel fast
+        path stands down (:meth:`_kernel_advance` needs whole-run
+        batches; monitors need every cycle) -- detach with
+        :meth:`remove_monitor` to re-arm it."""
         self._monitors.append(fn)
+
+    def remove_monitor(self, fn: Callable[[int], None]) -> bool:
+        """Detach a monitor registered via :meth:`on_cycle`; returns
+        whether it was attached."""
+        try:
+            self._monitors.remove(fn)
+            return True
+        except ValueError:
+            return False
 
     # ------------------------------------------------------------------
     def _all_wires(self):

@@ -1,0 +1,293 @@
+"""A small blocking client for the service -- stdlib only
+(``http.client`` for HTTP, a raw socket for the WebSocket trace
+stream).  This is what the tests, the examples and CI smoke drive; it
+is deliberately synchronous so callers need no event loop.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+import struct
+import time
+from typing import Dict, Iterator, List, Optional
+
+from ..api import RunResult
+from .protocol import OP_CLOSE, OP_PING, OP_PONG, OP_TEXT, websocket_accept
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, payload):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error") if isinstance(payload, dict) \
+            else payload
+        super().__init__(f"server answered {status}: {detail}")
+
+
+class ServerBusy(ServerError):
+    """429: the job queue is full; ``retry_after`` says when to retry."""
+
+    def __init__(self, status: int, payload, retry_after: float):
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class JobFailed(RuntimeError):
+    """A polled job finished in the ``failed`` state."""
+
+    def __init__(self, record: Dict[str, object]):
+        self.record = record
+        super().__init__(
+            f"job {record.get('id')} failed: {record.get('error')}")
+
+
+class ServerClient:
+    """One keep-alive HTTP connection to a :class:`ReproServer`.
+
+    >>> client = ServerClient(port=server.port)
+    >>> result = client.run("streams", cycles=256)   # doctest: +SKIP
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str, body=None):
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {} if payload is None else {
+            "Content-Type": "application/json"}
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout)
+            try:
+                self._conn.request(method, path, body=payload,
+                                   headers=headers)
+                response = self._conn.getresponse()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # a keep-alive connection the server already closed;
+                # reconnect once, then let the error through
+                self.close()
+                if attempt:
+                    raise
+        data = response.read()
+        decoded = json.loads(data) if data else None
+        if response.status == 429:
+            retry_after = float(response.headers.get("Retry-After", 1))
+            raise ServerBusy(response.status, decoded, retry_after)
+        if response.status >= 400:
+            raise ServerError(response.status, decoded)
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- browsing ------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/health")
+
+    def scenarios(self, tag: Optional[str] = None) -> List[Dict[str, object]]:
+        path = "/scenarios" + (f"?tag={tag}" if tag else "")
+        return self._request("GET", path)["scenarios"]
+
+    def scenario(self, name: str) -> Dict[str, object]:
+        return self._request("GET", f"/scenarios/{name}")
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/stats")
+
+    # -- jobs ----------------------------------------------------------
+    def submit(self, scenario: Optional[str] = None, *,
+               kind: str = "run", cycles: Optional[int] = None,
+               config: Optional[Dict[str, object]] = None,
+               stream: bool = False, **extra) -> Dict[str, object]:
+        """Submit one job; returns its lifecycle record (state
+        ``queued`` -- or already ``done`` on a result-cache hit).
+        Raises :class:`ServerBusy` on 429."""
+        body: Dict[str, object] = {"kind": kind, "stream": stream}
+        if scenario is not None:
+            body["scenario"] = scenario
+        if cycles is not None:
+            body["cycles"] = cycles
+        if config:
+            body["config"] = config
+        body.update(extra)
+        return self._request("POST", "/jobs", body)
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.02) -> Dict[str, object]:
+        """Poll until the job leaves the queue/run states.  Raises
+        :class:`JobFailed` on failure, :class:`TimeoutError` on
+        timeout; returns the final record otherwise."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            state = record["state"]
+            if state == "done":
+                return record
+            if state == "failed":
+                raise JobFailed(record)
+            if state == "cancelled":
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state} after {timeout:g}s")
+            time.sleep(poll)
+
+    def result(self, job_id: str):
+        """A finished job's result: a rebuilt
+        :class:`~repro.api.RunResult` for run jobs, the structured
+        rows/maps for sweep/bench."""
+        envelope = self._request("GET", f"/jobs/{job_id}/result")
+        if envelope["kind"] == "run":
+            return RunResult.from_dict(envelope["result"])
+        return envelope["result"]
+
+    def run(self, scenario: str, cycles: Optional[int] = None,
+            config: Optional[Dict[str, object]] = None,
+            timeout: float = 120.0) -> RunResult:
+        """Submit-wait-fetch sugar for one run job."""
+        record = self.submit(scenario, cycles=cycles, config=config)
+        if record["state"] != "done":
+            self.wait(record["id"], timeout=timeout)
+        return self.result(record["id"])
+
+    # -- trace streaming -----------------------------------------------
+    def stream(self, job_id: str, timeout: float = 120.0
+               ) -> Iterator[Dict[str, object]]:
+        """Connect to a job's WebSocket trace and yield every frame as
+        a dict -- ``{"type": "delta", ...}`` per cycle with changes,
+        then one ``{"type": "end", "dropped": n, ...}``."""
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=timeout)
+        # a buffered reader keeps frame bytes that arrive in the same
+        # TCP segment as the handshake tail
+        rfile = sock.makefile("rb")
+        try:
+            key = base64.b64encode(os.urandom(16)).decode("latin-1")
+            sock.sendall((
+                f"GET /jobs/{job_id}/trace HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n"
+                "\r\n").encode("latin-1"))
+            head = self._read_head(rfile)
+            status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            if " 101 " not in f"{status_line} ":
+                body = self._read_http_error(rfile, head)
+                raise ServerError(
+                    int(status_line.split(" ")[1]), body)
+            accept = websocket_accept(key)
+            if f"sec-websocket-accept: {accept}".lower() not in \
+                    head.decode("latin-1").lower():
+                raise ServerError(101, {"error": "bad websocket accept"})
+            while True:
+                opcode, payload = self._read_ws_frame(rfile)
+                if opcode == OP_CLOSE:
+                    return
+                if opcode == OP_PING:
+                    sock.sendall(self._masked_frame(OP_PONG, payload))
+                    continue
+                if opcode == OP_TEXT:
+                    frame = json.loads(payload.decode("utf-8"))
+                    yield frame
+                    if frame.get("type") == "end":
+                        # the server's close frame follows; answer with
+                        # our own before reading it
+                        sock.sendall(self._masked_frame(
+                            OP_CLOSE, struct.pack(">H", 1000)))
+        finally:
+            rfile.close()
+            sock.close()
+
+    # WebSocket plumbing (client side: masked frames out, plain in)
+    @staticmethod
+    def _read_head(rfile) -> bytes:
+        """The response head, up to and including the blank line."""
+        head = b""
+        while not head.endswith(b"\r\n\r\n"):
+            line = rfile.readline()
+            if not line:
+                raise ConnectionError(
+                    "server closed the connection mid-handshake")
+            head += line
+        return head
+
+    @staticmethod
+    def _read_http_error(rfile, head: bytes):
+        """Best-effort body of a non-101 handshake answer."""
+        length = 0
+        for line in head.decode("latin-1").split("\r\n"):
+            if line.lower().startswith("content-length:"):
+                length = int(line.split(":", 1)[1].strip())
+        body = rfile.read(length) if length else b""
+        try:
+            return json.loads(body)
+        except (ValueError, UnicodeDecodeError):
+            return {"error": body.decode("latin-1", "replace")}
+
+    @staticmethod
+    def _recv_exactly(rfile, n: int) -> bytes:
+        data = rfile.read(n)
+        if data is None or len(data) < n:
+            raise ConnectionError("server closed the websocket mid-frame")
+        return data
+
+    @classmethod
+    def _read_ws_frame(cls, rfile):
+        b0, b1 = cls._recv_exactly(rfile, 2)
+        opcode = b0 & 0x0F
+        length = b1 & 0x7F
+        if length == 126:
+            (length,) = struct.unpack(">H", cls._recv_exactly(rfile, 2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", cls._recv_exactly(rfile, 8))
+        payload = cls._recv_exactly(rfile, length) if length else b""
+        return opcode, payload
+
+    @staticmethod
+    def _masked_frame(opcode: int, payload: bytes = b"") -> bytes:
+        key = os.urandom(4)
+        head = bytearray([0x80 | (opcode & 0x0F)])
+        n = len(payload)
+        if n < 126:
+            head.append(0x80 | n)
+        elif n < (1 << 16):
+            head.append(0x80 | 126)
+            head += struct.pack(">H", n)
+        else:
+            head.append(0x80 | 127)
+            head += struct.pack(">Q", n)
+        head += key
+        return bytes(head) + bytes(
+            b ^ key[i % 4] for i, b in enumerate(payload))
