@@ -44,14 +44,17 @@ from .rtl.simulator import ENGINES
 #: only part of the config expose only that part, so the echoed
 #: ``--json`` config never claims knobs the run ignored
 ALL_FIELDS = ("engine", "backend", "parallel", "executor", "jobs", "seed",
-              "cycles", "stim", "batch", "trace")
+              "cycles", "stim", "batch", "trace", "checkpoint_every")
 #: a single scenario run has no sweep to execute, so it neither takes
 #: nor echoes the executor knobs (nor the lock-step batch width)
 RUN_FIELDS = tuple(f for f in ALL_FIELDS
                    if f not in ("executor", "jobs", "parallel", "batch"))
-#: bench measures each (scenario, config) serially and never batches --
-#: lock-step timing would blend the instances it is trying to compare
-BENCH_FIELDS = tuple(f for f in ALL_FIELDS if f != "batch")
+#: bench measures each (scenario, config) serially, never batches and
+#: never checkpoints -- lock-step timing would blend the instances it
+#: is trying to compare, and a restored prefix would corrupt the
+#: cycles/second it is trying to measure
+BENCH_FIELDS = tuple(f for f in ALL_FIELDS
+                     if f not in ("batch", "checkpoint_every"))
 #: what the harness drivers actually thread through (appendix-a keeps
 #: its own serial-by-design parallel knob, so it exposes only the
 #: engine/backend pair its simulated side consumes)
@@ -106,6 +109,14 @@ def _add_config_options(parser: argparse.ArgumentParser,
     if "trace" in fields:
         g.add_argument("--trace", action="store_true", default=False,
                        help="render the ASCII waveform of each run")
+    if "checkpoint_every" in fields:
+        g.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N", dest="checkpoint_every",
+                       help="snapshot the run every N cycles into the "
+                            "process-wide checkpoint store and resume "
+                            "from the longest matching prefix; "
+                            "$REPRO_CHECKPOINT_EVERY overrides the "
+                            "default of off")
     g.add_argument("--json", nargs="?", const="-", default=None,
                    metavar="PATH",
                    help="emit machine-readable results (to PATH, or "
@@ -116,7 +127,7 @@ def _add_config_options(parser: argparse.ArgumentParser,
 def _config_from(args: argparse.Namespace) -> SimConfig:
     overrides: Dict[str, object] = {}
     for field in ("engine", "backend", "executor", "jobs", "seed",
-                  "cycles", "stim", "batch"):
+                  "cycles", "stim", "batch", "checkpoint_every"):
         value = getattr(args, field, None)
         if value is not None:
             overrides[field] = value
@@ -176,10 +187,88 @@ def cmd_list_scenarios(args) -> int:
 
 
 def cmd_run(args) -> int:
+    import os
+    import time
+
+    from .api import _result_of
+    from .errors import SimulationError
+
     config = args.sim_config
-    result = Session(config).run(args.scenario)
+    if args.checkpoint_dir and not (config.checkpoint_every
+                                    or args.resume_from):
+        print("error: --checkpoint-dir needs --checkpoint-every (or "
+              "$REPRO_CHECKPOINT_EVERY) to produce checkpoints",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.resume_from:
+            # resume a run from an on-disk checkpoint file: rebuild the
+            # scenario deterministically, restore, simulate the tail
+            from .rtl.snapshot import load_checkpoint
+
+            snap = load_checkpoint(args.resume_from)
+            if snap.scenario and snap.scenario != args.scenario:
+                print(f"error: {args.resume_from} was checkpointed from "
+                      f"scenario {snap.scenario!r}, not "
+                      f"{args.scenario!r}", file=sys.stderr)
+                return 2
+            sim = get_registry().build(args.scenario, config)
+            sim.restore(snap)
+            resumed = sim.cycle
+            t0 = time.perf_counter()
+            if config.cycles > sim.cycle:
+                sim.run(config.cycles - sim.cycle)
+            elapsed = time.perf_counter() - t0
+            result = _result_of(
+                args.scenario, config, sim, config.cycles, elapsed,
+                {"resumed_from": resumed,
+                 "simulated_cycles": config.cycles - resumed})
+        elif config.checkpoint_every:
+            # checkpointed run: feed the process-wide store, and write
+            # each checkpoint to --checkpoint-dir when asked so a fresh
+            # process can resume it later
+            from .rtl.snapshot import (
+                get_checkpoint_store,
+                prefix_key,
+                resume_longest_prefix,
+                run_with_checkpoints,
+                save_checkpoint,
+            )
+
+            sim = get_registry().build(args.scenario, config)
+            store = get_checkpoint_store()
+            key = prefix_key(args.scenario, config, sim)
+
+            def on_checkpoint(cycle, snap):
+                if not args.checkpoint_dir:
+                    return
+                path = os.path.join(
+                    args.checkpoint_dir,
+                    f"{args.scenario}-c{cycle}-{key[:12]}.ckpt")
+                save_checkpoint(path, snap)
+                print(f"checkpoint: {path}", file=sys.stderr)
+
+            t0 = time.perf_counter()
+            resumed = resume_longest_prefix(sim, key, config.cycles, store)
+            stored = run_with_checkpoints(
+                sim, config.cycles, config.checkpoint_every, store=store,
+                key=key, scenario=args.scenario,
+                on_checkpoint=on_checkpoint)
+            elapsed = time.perf_counter() - t0
+            result = _result_of(
+                args.scenario, config, sim, config.cycles, elapsed,
+                {"resumed_from": resumed,
+                 "simulated_cycles": config.cycles - resumed,
+                 "checkpoints_stored": stored})
+        else:
+            result = Session(config).run(args.scenario)
+    except (OSError, SimulationError) as exc:
+        # unreadable/mismatched checkpoint files are user-input errors
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
-        _emit_json(args, result.to_dict(include_activity=args.activity))
+        _emit_json(args, result.to_dict(include_activity=args.activity,
+                                        include_samples=args.samples))
         return 0
     print(f"scenario {result.scenario}: {result.cycles} cycles in "
           f"{result.seconds:.3f}s ({result.cycles_per_second:,.0f} "
@@ -189,6 +278,9 @@ def cmd_run(args) -> int:
     print(f"  total activity: {result.total_activity} toggles across "
           f"{len(result.activity)} wires, "
           f"{result.diagnostics['modules']} modules")
+    if "resumed_from" in result.diagnostics:
+        print(f"  resumed from cycle {result.diagnostics['resumed_from']} "
+              f"({result.diagnostics['simulated_cycles']} simulated)")
     if result.trace is not None:
         print(result.trace)
     return 0
@@ -344,6 +436,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("scenario", help="a registry name (see list-scenarios)")
     p.add_argument("--activity", action="store_true",
                    help="include per-wire toggle counts in --json output")
+    p.add_argument("--samples", action="store_true",
+                   help="include waveform samples in --json output")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   dest="checkpoint_dir",
+                   help="write each --checkpoint-every boundary snapshot "
+                        "to DIR as a .ckpt file (resumable from a fresh "
+                        "process with --resume-from)")
+    p.add_argument("--resume-from", default=None, metavar="PATH",
+                   dest="resume_from",
+                   help="restore a .ckpt checkpoint file into a fresh "
+                        "deterministic rebuild and simulate only the "
+                        "remaining cycles up to --cycles")
     _add_config_options(p, fields=RUN_FIELDS)
     p.set_defaults(fn=cmd_run)
 

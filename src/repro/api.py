@@ -50,6 +50,12 @@ from .codegen.simfsm import BACKENDS
 from .rtl.batch import MAX_BATCH, BatchSimulator, _env_batch, run_batch
 from .rtl.executors import EXECUTORS, JobSpec, ScenarioRun
 from .rtl.simulator import ENGINES, Simulator
+from .rtl.snapshot import (
+    get_checkpoint_store,
+    prefix_key,
+    resume_longest_prefix,
+    run_with_checkpoints,
+)
 from .rtl.waveform import Waveform
 
 Parallel = Union[bool, int, None]
@@ -57,6 +63,24 @@ Parallel = Union[bool, int, None]
 
 def _choices(known: Sequence[str]) -> str:
     return ", ".join(repr(k) for k in known)
+
+
+def _env_checkpoint_every() -> Optional[int]:
+    """``$REPRO_CHECKPOINT_EVERY`` as a cycle interval; unset, empty or
+    ``0`` mean off (None)."""
+    raw = os.environ.get("REPRO_CHECKPOINT_EVERY", "").strip()
+    if raw in ("", "0"):
+        return None
+    try:
+        every = int(raw)
+    except ValueError:
+        every = -1
+    if every < 1:
+        raise ValueError(
+            f"REPRO_CHECKPOINT_EVERY must be a non-negative int cycle "
+            f"interval (0 disables), got {raw!r}"
+        )
+    return every
 
 
 # ---------------------------------------------------------------------------
@@ -101,7 +125,16 @@ class SimConfig:
         engine runs always stay scalar -- brute is the semantic
         reference batching is held to;
     ``trace``
-        when true, :class:`RunResult` carries the rendered ASCII waveform.
+        when true, :class:`RunResult` carries the rendered ASCII waveform;
+    ``checkpoint_every``
+        auto-checkpoint interval in cycles: :meth:`Session.run` (and the
+        ``run_scenario`` executor jobs behind :meth:`Session.sweep`)
+        snapshot the simulator every N cycles into the process-wide
+        :class:`~repro.rtl.snapshot.CheckpointStore` and, before
+        running, restore the longest stored prefix whose (topology,
+        stimulus) matches -- so a re-run simulates only the tail.
+        ``None`` resolves to ``$REPRO_CHECKPOINT_EVERY`` when set and
+        non-zero, else off.
     """
 
     engine: Optional[str] = None
@@ -114,6 +147,7 @@ class SimConfig:
     stim: Optional[int] = None
     batch: Optional[int] = None
     trace: bool = False
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self):
         if self.engine is None:
@@ -177,6 +211,18 @@ class SimConfig:
             raise ValueError(
                 f"batch must be an int width between 1 and {MAX_BATCH}, "
                 f"got {self.batch!r} (did REPRO_BATCH leak a typo?)"
+            )
+        if self.checkpoint_every is None:
+            object.__setattr__(
+                self, "checkpoint_every", _env_checkpoint_every())
+        if self.checkpoint_every is not None and (
+                not isinstance(self.checkpoint_every, int)
+                or isinstance(self.checkpoint_every, bool)
+                or self.checkpoint_every < 1):
+            raise ValueError(
+                f"checkpoint_every must be a positive int cycle interval "
+                f"or None, got {self.checkpoint_every!r} (did "
+                f"REPRO_CHECKPOINT_EVERY leak a typo?)"
             )
 
     def replace(self, **overrides) -> "SimConfig":
@@ -530,6 +576,9 @@ def _result_from_scenario_run(config: SimConfig, run: ScenarioRun,
         "final_cycle": run.final_cycle,
         "job_seconds": run.seconds,
     }
+    if run.resumed_from:
+        diagnostics["resumed_from"] = run.resumed_from
+        diagnostics["simulated_cycles"] = run.cycles - run.resumed_from
     diagnostics.update(extra_diagnostics or {})
     return RunResult(
         scenario=run.scenario,
@@ -582,10 +631,27 @@ class Session:
         """Build and run one scenario; returns a :class:`RunResult`."""
         cfg = resolve_config(self.config, cycles=cycles, **overrides)
         sim = self.registry.build(scenario, cfg)
+        extra = None
         t0 = time.perf_counter()
-        sim.run(cfg.cycles)
+        if cfg.checkpoint_every:
+            # incremental re-simulation: restore the longest stored
+            # prefix for this (topology, stimulus), run only the tail,
+            # and leave checkpoints behind for the next caller
+            store = get_checkpoint_store()
+            key = prefix_key(scenario, cfg, sim)
+            resumed = resume_longest_prefix(sim, key, cfg.cycles, store)
+            stored = run_with_checkpoints(
+                sim, cfg.cycles, cfg.checkpoint_every,
+                store=store, key=key, scenario=scenario)
+            extra = {
+                "resumed_from": resumed,
+                "simulated_cycles": cfg.cycles - resumed,
+                "checkpoints_stored": stored,
+            }
+        else:
+            sim.run(cfg.cycles)
         elapsed = time.perf_counter() - t0
-        return _result_of(scenario, cfg, sim, cfg.cycles, elapsed)
+        return _result_of(scenario, cfg, sim, cfg.cycles, elapsed, extra)
 
     def _select(self, scenarios: Optional[Sequence[str]],
                 tag: Optional[str]) -> List[str]:

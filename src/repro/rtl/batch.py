@@ -222,10 +222,34 @@ class BatchSimulator:
     def __getitem__(self, name: str) -> Simulator:
         return self.sims[name]
 
+    def snapshot(self) -> Dict[str, object]:
+        """Per-simulator cycle-boundary snapshots keyed by name (see
+        :func:`repro.rtl.snapshot.capture`); the returned mapping is
+        plain data and pickles as one checkpoint of the whole batch."""
+        from .snapshot import capture
+
+        return {name: capture(s, scenario=self._specs.get(name, ("",))[0])
+                for name, s in self.sims.items()}
+
+    def restore(self, snaps: Dict[str, object]) -> "BatchSimulator":
+        """Restore a :meth:`snapshot` mapping into the batch's
+        simulators (by name; a partial mapping restores a subset)."""
+        from .snapshot import restore as restore_snapshot
+
+        for name, snap in snaps.items():
+            restore_snapshot(self.sims[name], snap)
+        return self
+
     def _run_process(self, cycles: int,
                      parallel: Union[bool, int, None]) -> None:
         """Ship every scenario-provenance sim to the process pool and
         adopt the remote results into the local simulators.
+
+        Already-advanced simulators ship a snapshot along with their
+        JobSpec (``resume_from``): the worker rebuilds from provenance,
+        restores the snapshot, and simulates only the tail -- the
+        historical "one-shot only" restriction reduced to simulators
+        that already adopted a remote run.
 
         Note the cost model: ``add_scenario`` already elaborated each
         simulator locally (callers may inspect or drive it before
@@ -240,23 +264,29 @@ class BatchSimulator:
                 f"add_scenario); directly-added simulator(s) "
                 f"{missing!r} cannot be described as JobSpecs"
             )
-        stale = [n for n, s in self.sims.items() if s.cycle != 0]
-        if stale:
+        adopted = [n for n, s in self.sims.items() if s.detached]
+        if adopted:
             raise ValueError(
-                f"the process executor rebuilds simulators from scratch "
-                f"in the workers; already-advanced simulator(s) "
-                f"{stale!r} would lose state (run them on the serial/"
-                f"thread executors instead)"
+                f"simulator(s) {adopted!r} already adopted a remote run "
+                f"and hold no local state to resume from (rebuild the "
+                f"scenario to keep simulating)"
             )
-        specs = [
-            JobSpec(kind="run_scenario", name=name, scenario=scenario,
-                    config=cfg, cycles=cycles)
-            for name, (scenario, cfg) in self._specs.items()
-        ]
+        from .snapshot import capture
+
+        specs = []
+        for name, (scenario, cfg) in self._specs.items():
+            sim = self.sims[name]
+            params = ()
+            if sim.cycle != 0:
+                params = (("resume_from", capture(sim, scenario=scenario)),)
+            specs.append(JobSpec(
+                kind="run_scenario", name=name, scenario=scenario,
+                config=cfg, cycles=sim.cycle + cycles, params=params))
         results = run_batch(specs, parallel=parallel, executor="process")
         for name, run in results.items():
             self.sims[name].adopt_remote(run.final_cycle, run.activity,
-                                         run.samples)
+                                         run.samples,
+                                         resumed_from=run.resumed_from)
 
     def run(self, cycles: int,
             parallel: Union[bool, int, None] = None,
@@ -266,8 +296,8 @@ class BatchSimulator:
         parallel = self.parallel if parallel is None else parallel
         executor = executor or self.executor
         if executor == "process" and self.sims:
-            # one-shot only: workers rebuild from provenance, so the
-            # local sims must still be fresh (checked in _run_process)
+            # workers rebuild from provenance; advanced sims ship a
+            # snapshot and resume remotely (checked in _run_process)
             self._run_process(cycles, parallel)
             return self
         run_batch(

@@ -132,6 +132,7 @@ class ScenarioRun:
     watched: int
     final_cycle: int
     trace: Optional[str] = None
+    resumed_from: int = 0        # checkpoint cycle the run restored, if any
     sim: object = field(default=None, compare=False, repr=False)
 
     def __getstate__(self):
@@ -208,17 +209,50 @@ def execute_job(spec: JobSpec):
 
 @job_kind("run_scenario")
 def _run_scenario(spec: JobSpec) -> ScenarioRun:
-    """Build a registered scenario under the spec's config and run it."""
+    """Build a registered scenario under the spec's config and run it.
+
+    Params: optional ``resume_from`` -- a picklable
+    :class:`~repro.rtl.snapshot.Snapshot` restored into the fresh
+    build before running, so the job simulates only the tail from the
+    snapshot's cycle (snapshots are plain data and cross the process
+    pool like any other param).  With ``config.checkpoint_every`` set
+    instead, the job consults and feeds the worker's process-wide
+    checkpoint store exactly as :meth:`~repro.api.Session.run` does.
+    """
     from ..api import get_registry
+    from .snapshot import (
+        get_checkpoint_store,
+        prefix_key,
+        restore,
+        resume_longest_prefix,
+        run_with_checkpoints,
+    )
 
     cfg = spec.config
     sim = get_registry().build(spec.scenario, cfg)
     cycles = spec.run_cycles
+    snap = spec.param("resume_from")
+    every = getattr(cfg, "checkpoint_every", None)
+    resumed = 0
     t0 = time.perf_counter()
-    sim.run(cycles)
+    if snap is not None:
+        restore(sim, snap)
+        resumed = sim.cycle
+        if cycles > sim.cycle:
+            sim.run(cycles - sim.cycle)
+    elif every:
+        store = get_checkpoint_store()
+        key = prefix_key(spec.scenario, cfg, sim)
+        resumed = resume_longest_prefix(sim, key, cycles, store)
+        run_with_checkpoints(sim, cycles, every, store=store, key=key,
+                             scenario=spec.scenario)
+    else:
+        sim.run(cycles)
     elapsed = time.perf_counter() - t0
     trace = sim.waveform.render() if getattr(cfg, "trace", False) else None
-    return scenario_run_of(sim, spec.scenario, cycles, elapsed, trace)
+    run = scenario_run_of(sim, spec.scenario, cycles, elapsed, trace)
+    run.resumed_from = resumed
+    return run
 
 
 @job_kind("run_scenario_batch")

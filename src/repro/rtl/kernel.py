@@ -64,6 +64,14 @@ earlier).  No bundled module does this; ``Simulator.add`` (the
 supported mutation) sets the scheduler's invalidation flag and is
 caught at the next kernel cycle in both engines.
 
+Checkpoint/restore (:mod:`repro.rtl.snapshot`) is invisible to the
+kernel: snapshots capture the shared scheduler columns at a cycle
+boundary, restore writes them back, and the generated entry rebinds
+every flat local from those columns -- so a restored simulator
+re-engages the fast path immediately, without an interpreted fallback
+cycle.  :func:`fast_path_ready` makes that entry check inspectable and
+the snapshot tests pin it.
+
 Batched (columnar) kernels
 --------------------------
 
@@ -129,6 +137,7 @@ __all__ = [
     "kernel_for",
     "batch_kernel_for",
     "topology_shape",
+    "fast_path_ready",
     "cache_stats",
     "clear_cache",
     "STOP_OPS",
@@ -770,6 +779,31 @@ def topology_shape(sim) -> Tuple[Optional[str], Optional[KernelPlan]]:
         plan_out = plan
     sim._shape_cache = (token, digest, plan_out)
     return digest, plan_out
+
+
+def fast_path_ready(sim) -> bool:
+    """Whether the compiled fast path can engage for ``sim``'s *next*
+    ``run()`` call without an interpreted fallback cycle.
+
+    This is the entry check of
+    :meth:`~repro.rtl.simulator.Simulator._kernel_advance` made
+    inspectable: no monitors, not detached, scheduler built with no
+    pending prime or dirty set, and a supported topology.  The
+    checkpoint layer (:mod:`repro.rtl.snapshot`) restores the scheduler
+    columns the generated code rebinds its flat locals from at every
+    entry, so a restored simulator must report ready whenever the
+    snapshot's source did -- the snapshot test suite pins that
+    invariant so restores never silently degrade ``engine="kernel"``
+    runs to the per-cycle interpreter.
+    """
+    if sim.detached or sim._monitors:
+        return False
+    sch = sim.scheduler
+    sch._ensure_built()
+    if sch._needs_prime or sch._changed:
+        return False
+    digest, _plan = topology_shape(sim)
+    return digest is not None
 
 
 def cache_stats() -> Dict[str, object]:

@@ -132,19 +132,28 @@ class Simulator:
 
     def adopt_remote(self, cycle: int,
                      activity: Dict[Tuple[str, str], int],
-                     samples: Dict[str, List[int]]) -> None:
+                     samples: Dict[str, List[int]],
+                     resumed_from: int = 0) -> None:
         """Adopt the observable state of a run that happened in another
         process (the batch runner's ``process`` executor): cycle count,
         per-wire toggle counts, waveform samples.
 
-        The local module registers were never advanced, so the simulator
-        becomes *detached*: further ``run``/``step`` calls raise instead
-        of silently mixing fresh local state into the adopted results.
+        An already-advanced simulator may adopt only a remote run that
+        *resumed from its own snapshot* (``resumed_from`` equals the
+        local cycle): the remote observables then cover the local
+        prefix bit-for-bit, so adoption loses nothing.
+
+        The local module registers were never advanced (or are now
+        behind the adopted run), so the simulator becomes *detached*:
+        further ``run``/``step`` calls raise instead of silently mixing
+        fresh local state into the adopted results.
         """
-        if self.cycle != 0:
+        if self.cycle != 0 and self.cycle != resumed_from:
             raise SimulationError(
                 f"cannot adopt a remote run into {self.name!r}: the "
-                f"local simulator already advanced to cycle {self.cycle}"
+                f"local simulator advanced to cycle {self.cycle}, but "
+                f"the remote run resumed from cycle {resumed_from} -- "
+                f"its observables would not cover the local prefix"
             )
         self.cycle = cycle
         self._adopted_activity = dict(activity)
@@ -247,6 +256,29 @@ class Simulator:
             if len(series) < self.cycle:
                 series.extend([0] * (self.cycle - len(series)))
         return kern.fn(self, sch, cycles)
+
+    def snapshot(self):
+        """Capture the complete cycle-boundary state (wire values,
+        toggle counters, pending scheduler bookkeeping, module
+        registers/latches/queues, waveform series, cycle number) as a
+        picklable :class:`~repro.rtl.snapshot.Snapshot`.
+
+        Engine-portable: a snapshot taken under any engine restores
+        into any other (the equivalence suites pin the engines to
+        identical boundary states), and restoring leaves the compiled
+        cycle kernel's fast path armed -- its flat locals are rebound
+        from the scheduler columns at every kernel entry."""
+        from .snapshot import capture
+
+        return capture(self)
+
+    def restore(self, snap):
+        """Restore a :meth:`snapshot` into this simulator (in place, or
+        into a fresh deterministic rebuild of the same scenario); the
+        resumed run is bit-identical to one that never stopped."""
+        from .snapshot import restore
+
+        restore(self, snap)
 
     def run_until(self, predicate: Callable[[], bool], limit: int = 10000):
         """Step until ``predicate()`` or the cycle limit; returns cycles

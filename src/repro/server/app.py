@@ -11,7 +11,16 @@ GET     /health                    liveness + version + registry size
 GET     /scenarios                 registered scenarios (``?tag=`` filters)
 GET     /scenarios/<name>          one scenario's tags/description/defaults
 POST    /jobs                      submit run/sweep/bench (202; 200 cached;
-                                   429 + Retry-After when the queue is full)
+                                   429 + Retry-After when the queue is full).
+                                   Run jobs accept ``from_cycle``: the job
+                                   restores the deepest checkpoint at or
+                                   below that cycle for its (topology,
+                                   stimulus) prefix and simulates only the
+                                   tail -- submitting several tails against
+                                   one checkpointed prefix forks divergent
+                                   runs from cycle k.  Checkpoints come from
+                                   earlier jobs run with
+                                   ``config.checkpoint_every``
 GET     /jobs                      every job's lifecycle record
 GET     /jobs/<id>                 one job's record
 GET     /jobs/<id>/result          finished result (409 until done)

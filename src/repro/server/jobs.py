@@ -37,6 +37,17 @@ Identical in-flight submissions coalesce onto one queued/running job --
 eight clients asking for the same run occupy one queue slot and pay one
 simulation.  This is the first slice of the ROADMAP's incremental-
 resimulation item: repeated requests are O(1) cache hits.
+
+Underneath the result cache sits the snapshot tier
+(:mod:`repro.rtl.snapshot`): the queue shares the process-wide
+:class:`~repro.rtl.snapshot.CheckpointStore` with direct
+``Session.run``/``sweep`` callers, the prefix keys reuse the same
+topology-fingerprint + stimulus-hash derivation as the content keys
+above, and run submissions accept ``from_cycle`` -- the job restores
+the deepest checkpoint at or below that cycle for its (topology,
+stimulus) and simulates only the tail, which is what lets clients fork
+divergent runs from a shared prefix.  Streamed resumed runs publish
+absolute cycle numbers (the trace tap reads ``sim.cycle``).
 """
 
 from __future__ import annotations
@@ -59,6 +70,14 @@ from ..api import (
 )
 from ..codegen import pysim
 from ..rtl import kernel
+from ..rtl.snapshot import (
+    get_checkpoint_store,
+    prefix_key,
+    resume_longest_prefix,
+    run_with_checkpoints,
+    stimulus_key,
+    topology_key,
+)
 from .trace import TraceHub, TraceTap
 
 #: job lifecycle states, in order
@@ -239,6 +258,9 @@ class JobQueue:
         self.retry_after = retry_after
         self.trace_depth = trace_depth
         self.cache = ResultCache()
+        # the snapshot tier under the result cache: the process-wide
+        # store, shared with direct Session.run/sweep callers
+        self.checkpoints = get_checkpoint_store()
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
@@ -373,6 +395,21 @@ class JobQueue:
                     registry.get(scenario)   # raises with suggestions
                 except KeyError as exc:
                     raise BadSubmission(str(exc.args[0]))
+            from_cycle = payload.get("from_cycle")
+            if from_cycle is not None:
+                if not isinstance(from_cycle, int) \
+                        or isinstance(from_cycle, bool) or from_cycle < 0:
+                    raise BadSubmission(
+                        f"from_cycle must be a non-negative int, got "
+                        f"{from_cycle!r}"
+                    )
+                if from_cycle >= config.cycles:
+                    raise BadSubmission(
+                        f"from_cycle {from_cycle} must be below the "
+                        f"run's cycle count {config.cycles} (nothing "
+                        f"would be simulated)"
+                    )
+                params["from_cycle"] = from_cycle
         else:
             if stream:
                 raise BadSubmission(
@@ -438,6 +475,7 @@ class JobQueue:
                 "states": states,
                 "coalesced": self._coalesced,
                 "result_cache": self.cache.stats(),
+                "checkpoints": self.checkpoints.stats(),
                 "compile_caches": {
                     "pysim": pysim.cache_stats(),
                     "kernel": kernel.cache_stats(),
@@ -496,41 +534,59 @@ class JobQueue:
         sim = get_registry().build(job.scenario, cfg)
         job.content_key = self._content_key(job, sim)
         if not job.stream:
+            # from_cycle is deliberately absent from the content key: a
+            # resumed run is bit-identical to the from-0 run, so either
+            # answers the other
             cached = self.cache.lookup_content(job.submit_key,
                                                job.content_key)
             if cached is not None:
                 job.cached = "content"
                 job.result = self._annotated(cached, cfg, "content")
                 return
+        from_cycle = job.params.get("from_cycle")
+        every = cfg.checkpoint_every
+        extra = None
+        resumed = 0
+        key = None
+        if from_cycle is not None or every:
+            key = prefix_key(job.scenario, cfg, sim)
+            limit = cfg.cycles if from_cycle is None else from_cycle
+            resumed = resume_longest_prefix(sim, key, limit,
+                                            self.checkpoints)
+            extra = {"resumed_from": resumed,
+                     "simulated_cycles": cfg.cycles - resumed}
         tap = None
         if job.hub is not None:
+            # attached after the restore: a resumed stream begins at the
+            # restored boundary and publishes absolute cycle numbers
             tap = TraceTap(sim, job.hub)
             sim.on_cycle(tap)
         t0 = time.perf_counter()
-        sim.run(cfg.cycles)
+        if every:
+            run_with_checkpoints(sim, cfg.cycles, every,
+                                 store=self.checkpoints, key=key,
+                                 scenario=job.scenario)
+        elif cfg.cycles > sim.cycle:
+            sim.run(cfg.cycles - sim.cycle)
         elapsed = time.perf_counter() - t0
         if tap is not None:
             sim.remove_monitor(tap)
         job.result = _result_of(job.scenario, cfg, sim, cfg.cycles,
-                                elapsed)
+                                elapsed, extra)
         self.cache.store(job.submit_key, job.content_key, job.result)
 
     @staticmethod
     def _content_key(job: Job, sim) -> str:
         """The content address of a run: topology fingerprint x
-        result-relevant config x stimulus hash.  Engine/backend/executor
-        knobs are excluded -- results are pinned bit-identical across
-        them -- so submissions differing only in those share one entry."""
+        result-relevant config x stimulus hash, derived through the
+        same :mod:`repro.rtl.snapshot` helpers the checkpoint tier's
+        prefix keys use.  Engine/backend/executor knobs are excluded --
+        results are pinned bit-identical across them -- so submissions
+        differing only in those share one entry."""
         cfg = job.config
-        digest, _plan = kernel.topology_shape(sim)
-        topo = digest or (
-            f"builder:{job.scenario}:{cfg.engine}:{cfg.backend}"
-        )
-        stim = hashlib.sha256(json.dumps(
-            [job.scenario, cfg.seed, cfg.stim],
-            separators=(",", ":")).encode("utf-8")).hexdigest()
         material = json.dumps(
-            ["run", topo, stim, cfg.cycles, cfg.trace],
+            ["run", topology_key(job.scenario, cfg, sim),
+             stimulus_key(job.scenario, cfg), cfg.cycles, cfg.trace],
             separators=(",", ":"))
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 

@@ -1,6 +1,24 @@
-"""Test configuration: make the tests/ directory importable (helpers.py)."""
+"""Test configuration: make the tests/ directory importable (helpers.py)
+and isolate process-wide state between tests."""
 
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_checkpoint_store():
+    """The warm-prefix checkpoint store is a process-wide singleton;
+    under ``REPRO_CHECKPOINT_EVERY`` every ``Session.run`` feeds it, and
+    a prefix left by one test would let a later test resume instead of
+    simulating (e.g. turning a deliberately-slow scenario instant and
+    defeating an in-flight coalescing assertion).  Reset it around every
+    test so reuse only ever happens within one test."""
+    from repro.rtl.snapshot import reset_checkpoint_store
+
+    reset_checkpoint_store()
+    yield
+    reset_checkpoint_store()

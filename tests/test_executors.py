@@ -197,11 +197,27 @@ class TestFailurePropagation:
         with pytest.raises(ValueError, match="provenance"):
             batch.run(10, executor="process", parallel=2)
 
-    def test_batch_simulator_process_runs_are_one_shot(self):
+    def test_batch_simulator_process_resumes_advanced_sims(self):
+        # the historical "one-shot only" restriction is gone: an
+        # already-advanced sim ships a snapshot with its JobSpec and
+        # the worker resumes it bit-identically...
         batch = BatchSimulator()
         batch.add_scenario("memory", SimConfig(stim=60))
         batch.run(10, parallel=False)          # advance locally first
-        with pytest.raises(ValueError, match="already-advanced"):
+        batch.run(10, executor="process", parallel=2)
+        reference = BatchSimulator()
+        reference.add_scenario("memory", SimConfig(stim=60))
+        reference.run(20, parallel=False)
+        assert batch["memory"].cycle == 20
+        assert batch["memory"].activity == reference["memory"].activity
+
+    def test_batch_simulator_detached_sims_stay_one_shot(self):
+        # ...but a sim that already adopted a remote run holds no local
+        # state to snapshot and still refuses
+        batch = BatchSimulator()
+        batch.add_scenario("memory", SimConfig(stim=60))
+        batch.run(10, executor="process", parallel=2)
+        with pytest.raises(ValueError, match="adopted a remote run"):
             batch.run(10, executor="process", parallel=2)
 
 

@@ -28,6 +28,7 @@ from repro.codegen import pysim
 from repro.rtl import kernel
 from repro.rtl.module import Module
 from repro.rtl.simulator import Simulator
+from repro.rtl.snapshot import reset_checkpoint_store
 from repro.server import (
     Backpressure,
     JobQueue,
@@ -605,6 +606,10 @@ def test_kernel_cache_survives_concurrent_compilation():
     assert kernel.cache_stats()["entries"] == expected
 
     kernel.clear_cache()
+    # under REPRO_CHECKPOINT_EVERY the seed run above left a full-run
+    # checkpoint; drop it so the hammered re-runs actually simulate
+    # (and compile) instead of restoring the warm prefix
+    reset_checkpoint_store()
     _hammer(lambda: Session(
         SimConfig(cycles=10, engine="kernel")).run("streams"))
     stats = kernel.cache_stats()

@@ -25,10 +25,10 @@ got slower than the committed floors allow:
    interpreted per-cycle stop loop) above its absolute floor.  The
    floors are absolute, not baseline-relative -- blobs committed
    before the batch axis carry no reference column -- and they encode
-   what a single shared CI core actually measures (committed full-run
-   geomeans: parity 0.85x, campaign 1.13x; module-eval bodies
-   dominate each cycle, so batching buys loop/stop overhead, not
-   eval time);
+   what a single shared CI core actually measured in the committed
+   ``BENCH_PR7.json`` (full-run geomeans: parity 0.85x, campaign
+   1.13x; module-eval bodies dominate each cycle, so batching buys
+   loop/stop overhead, not eval time);
 5. the process executor must beat serial by the multicore floor
    (2x by default), but only for *full* benchmark runs on machines
    that actually have cores to parallelize over (``--min-cores``,
@@ -359,6 +359,17 @@ def main(argv=None):
     except (OSError, ValueError) as exc:
         print("error: cannot load blobs: {}".format(exc), file=sys.stderr)
         return 2
+    # say which floors come from where: the CI step name references
+    # these blobs and must not drift from what the gate actually loads
+    print("relative axis floors:  baseline blob {}".format(args.baseline))
+    print(
+        "absolute batch floors: CLI defaults committed from "
+        "BENCH_PR7.json full-run geomeans (parity {:.2f}x / campaign "
+        "{:.2f}x; quick {:.2f}x / {:.2f}x)".format(
+            args.parity_floor, args.campaign_floor,
+            args.quick_parity_floor, args.quick_campaign_floor
+        )
+    )
     for axis in ("engine_axis", "backend_axis"):
         if axis not in blob or axis not in baseline:
             print(
