@@ -11,6 +11,7 @@ into a single :class:`~repro.api.SimConfig` and handed to a
 ``sweep``           run many scenarios as one batch sweep
 ``bench``           cycles/second of the configured engine x backend vs the
                     reference pair, with equivalence checks
+``inject``          seeded fault-injection campaign with AVF-style readout
 ``table1``          Table 1 (area/power/fmax/latency)
 ``table2``          Table 2 (real-world hazard case studies)
 ``figures``         Figures 1, 2, 4, 5, 6, 8
@@ -44,17 +45,25 @@ from .rtl.simulator import ENGINES
 #: only part of the config expose only that part, so the echoed
 #: ``--json`` config never claims knobs the run ignored
 ALL_FIELDS = ("engine", "backend", "parallel", "executor", "jobs", "seed",
-              "cycles", "stim", "batch", "trace", "checkpoint_every")
+              "cycles", "stim", "batch", "trace", "checkpoint_every",
+              "max_wall_time")
 #: a single scenario run has no sweep to execute, so it neither takes
 #: nor echoes the executor knobs (nor the lock-step batch width)
 RUN_FIELDS = tuple(f for f in ALL_FIELDS
                    if f not in ("executor", "jobs", "parallel", "batch"))
-#: bench measures each (scenario, config) serially, never batches and
-#: never checkpoints -- lock-step timing would blend the instances it
-#: is trying to compare, and a restored prefix would corrupt the
-#: cycles/second it is trying to measure
+#: bench measures each (scenario, config) serially, never batches,
+#: never checkpoints and runs no watchdog -- lock-step timing would
+#: blend the instances it is trying to compare, a restored prefix (or a
+#: cancelled repeat) would corrupt the cycles/second it is trying to
+#: measure
 BENCH_FIELDS = tuple(f for f in ALL_FIELDS
-                     if f not in ("batch", "checkpoint_every"))
+                     if f not in ("batch", "checkpoint_every",
+                                  "max_wall_time"))
+#: a fault campaign forks tails on the configured executor but never
+#: renders waveforms, batches or feeds the checkpoint store (it keeps a
+#: campaign-local one)
+INJECT_FIELDS = tuple(f for f in ALL_FIELDS
+                      if f not in ("batch", "trace", "checkpoint_every"))
 #: what the harness drivers actually thread through (appendix-a keeps
 #: its own serial-by-design parallel knob, so it exposes only the
 #: engine/backend pair its simulated side consumes)
@@ -117,6 +126,13 @@ def _add_config_options(parser: argparse.ArgumentParser,
                             "from the longest matching prefix; "
                             "$REPRO_CHECKPOINT_EVERY overrides the "
                             "default of off")
+    if "max_wall_time" in fields:
+        g.add_argument("--max-wall-time", type=float, default=None,
+                       metavar="SECONDS", dest="max_wall_time",
+                       help="wall-clock watchdog: cancel the run with "
+                            "an error once it has simulated past this "
+                            "budget; $REPRO_MAX_WALL_TIME overrides "
+                            "the default of off")
     g.add_argument("--json", nargs="?", const="-", default=None,
                    metavar="PATH",
                    help="emit machine-readable results (to PATH, or "
@@ -127,7 +143,8 @@ def _add_config_options(parser: argparse.ArgumentParser,
 def _config_from(args: argparse.Namespace) -> SimConfig:
     overrides: Dict[str, object] = {}
     for field in ("engine", "backend", "executor", "jobs", "seed",
-                  "cycles", "stim", "batch", "checkpoint_every"):
+                  "cycles", "stim", "batch", "checkpoint_every",
+                  "max_wall_time"):
         value = getattr(args, field, None)
         if value is not None:
             overrides[field] = value
@@ -343,6 +360,58 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_inject(args) -> int:
+    from .errors import SimulationError
+    from .server.client import JobFailed, ServerClient, ServerError
+
+    config = args.sim_config
+    extra = {key: getattr(args, key)
+             for key in ("inject_seed", "tail_budget")
+             if getattr(args, key) is not None}
+    try:
+        if args.server:
+            host, _, port = args.server.rpartition(":")
+            client = ServerClient(host or "127.0.0.1", int(port),
+                                  timeout=args.timeout)
+            try:
+                record = client.submit(
+                    args.scenario, kind="inject",
+                    config=config.to_dict(), faults=args.faults, **extra)
+                if record["state"] != "done":
+                    record = client.wait(
+                        record["id"], timeout=max(args.timeout, 120.0))
+                result = client.result(record["id"])
+            finally:
+                client.close()
+        else:
+            result = Session(config).inject_campaign(
+                args.scenario, faults=args.faults, **extra)
+    except (OSError, SimulationError, ServerError, JobFailed) as exc:
+        # TimeoutError is an OSError: a timed-out client path lands
+        # here too, with the clear message ServerClient attached
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json(args, _wrap(args, result))
+        return 0
+    golden = result["golden"]
+    hist = result["histogram"]
+    print(f"scenario {result['scenario']}: {result['faults']} faults "
+          f"(inject seed {result['inject_seed']}), golden run "
+          f"{golden['cycles']} cycles, tail budget "
+          f"{result['tail_budget']}")
+    print("  outcomes: " + "  ".join(f"{k}={hist[k]}" for k in hist))
+    rows = sorted(result["table"].items(),
+                  key=lambda kv: (-kv[1]["vulnerability"], kv[0]))
+    shown = rows[:args.top]
+    print(f"  most vulnerable sites (top {len(shown)}):")
+    for site, row in shown:
+        print(f"    {row['vulnerability']:7.2%}  {site}  "
+              f"({row['faults']} faults: {row['sdc']} sdc, "
+              f"{row['detected']} detected, {row['hang']} hang)")
+    return 0
+
+
 def cmd_table1(args) -> int:
     from .harness.table1 import format_table1
 
@@ -474,6 +543,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip waveform/activity equivalence checks")
     _add_config_options(p, fields=BENCH_FIELDS)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "inject",
+        help="seeded fault-injection campaign: fork N faults from warm "
+             "prefix snapshots, classify masked/sdc/detected/hang")
+    p.add_argument("scenario", help="a registry name (see list-scenarios)")
+    p.add_argument("--faults", type=int, default=25, metavar="N",
+                   help="number of faults to sample (default 25)")
+    p.add_argument("--inject-seed", type=int, default=None,
+                   dest="inject_seed", metavar="SEED",
+                   help="fault-sampling RNG seed (default: --seed, so "
+                        "the plan rides the stimulus seed)")
+    p.add_argument("--tail-budget", type=int, default=None,
+                   dest="tail_budget", metavar="CYCLES",
+                   help="absolute cycle budget for each injected tail "
+                        "before it classifies as a hang (default: "
+                        "2x the golden run + 64)")
+    p.add_argument("--top", type=int, default=8, metavar="N",
+                   help="vulnerable sites to print (default 8)")
+    p.add_argument("--server", default=None, metavar="HOST:PORT",
+                   help="submit the campaign to a running repro server "
+                        "instead of executing locally")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="per-request socket timeout for --server calls "
+                        "(default 60)")
+    _add_config_options(p, fields=INJECT_FIELDS)
+    p.set_defaults(fn=cmd_inject)
 
     p = sub.add_parser("table1", help="Table 1: area/power/fmax/latency")
     p.add_argument("--fast", action="store_true",

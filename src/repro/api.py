@@ -49,7 +49,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 from .codegen.simfsm import BACKENDS
 from .rtl.batch import MAX_BATCH, BatchSimulator, _env_batch, run_batch
 from .rtl.executors import EXECUTORS, JobSpec, ScenarioRun
-from .rtl.simulator import ENGINES, Simulator
+from .rtl.simulator import ENGINES, Simulator, run_guarded
 from .rtl.snapshot import (
     get_checkpoint_store,
     prefix_key,
@@ -81,6 +81,24 @@ def _env_checkpoint_every() -> Optional[int]:
             f"interval (0 disables), got {raw!r}"
         )
     return every
+
+
+def _env_max_wall_time() -> Optional[float]:
+    """``$REPRO_MAX_WALL_TIME`` as a wall-clock budget in seconds;
+    unset, empty or ``0`` mean no watchdog (None)."""
+    raw = os.environ.get("REPRO_MAX_WALL_TIME", "").strip()
+    if raw in ("", "0"):
+        return None
+    try:
+        budget = float(raw)
+    except ValueError:
+        budget = -1.0
+    if budget <= 0:
+        raise ValueError(
+            f"REPRO_MAX_WALL_TIME must be a positive number of seconds "
+            f"(0 disables), got {raw!r}"
+        )
+    return budget
 
 
 # ---------------------------------------------------------------------------
@@ -135,6 +153,13 @@ class SimConfig:
         stimulus) matches -- so a re-run simulates only the tail.
         ``None`` resolves to ``$REPRO_CHECKPOINT_EVERY`` when set and
         non-zero, else off.
+    ``max_wall_time``
+        wall-clock watchdog budget in seconds: :meth:`Session.run`, the
+        executor jobs and fault-injection tails cancel a run with
+        :class:`~repro.errors.WatchdogTimeout` once it has simulated
+        past this budget (checked between chunks, so the overshoot is
+        bounded).  ``None`` resolves to ``$REPRO_MAX_WALL_TIME`` when
+        set and non-zero, else no watchdog.
     """
 
     engine: Optional[str] = None
@@ -148,6 +173,7 @@ class SimConfig:
     batch: Optional[int] = None
     trace: bool = False
     checkpoint_every: Optional[int] = None
+    max_wall_time: Optional[float] = None
 
     def __post_init__(self):
         if self.engine is None:
@@ -223,6 +249,17 @@ class SimConfig:
                 f"checkpoint_every must be a positive int cycle interval "
                 f"or None, got {self.checkpoint_every!r} (did "
                 f"REPRO_CHECKPOINT_EVERY leak a typo?)"
+            )
+        if self.max_wall_time is None:
+            object.__setattr__(self, "max_wall_time", _env_max_wall_time())
+        if self.max_wall_time is not None and (
+                not isinstance(self.max_wall_time, (int, float))
+                or isinstance(self.max_wall_time, bool)
+                or self.max_wall_time <= 0):
+            raise ValueError(
+                f"max_wall_time must be a positive number of seconds or "
+                f"None, got {self.max_wall_time!r} (did "
+                f"REPRO_MAX_WALL_TIME leak a typo?)"
             )
 
     def replace(self, **overrides) -> "SimConfig":
@@ -642,14 +679,15 @@ class Session:
             resumed = resume_longest_prefix(sim, key, cfg.cycles, store)
             stored = run_with_checkpoints(
                 sim, cfg.cycles, cfg.checkpoint_every,
-                store=store, key=key, scenario=scenario)
+                store=store, key=key, scenario=scenario,
+                max_wall_time=cfg.max_wall_time)
             extra = {
                 "resumed_from": resumed,
                 "simulated_cycles": cfg.cycles - resumed,
                 "checkpoints_stored": stored,
             }
         else:
-            sim.run(cfg.cycles)
+            run_guarded(sim, cfg.cycles, cfg.max_wall_time)
         elapsed = time.perf_counter() - t0
         return _result_of(scenario, cfg, sim, cfg.cycles, elapsed, extra)
 
@@ -748,6 +786,82 @@ class Session:
                 else runs[where[0]][where[1]]
             out[key] = _result_from_scenario_run(cfg, run, elapsed, diag)
         return out
+
+    # -- fault injection -----------------------------------------------
+    def inject_campaign(self, scenario: str, faults: int = 25, *,
+                        inject_seed: Optional[int] = None,
+                        tail_budget: Optional[int] = None,
+                        **overrides) -> Dict[str, object]:
+        """Run a seeded fault-injection campaign against one scenario.
+
+        ``faults`` injections are sampled from
+        ``random.Random(inject_seed or config.seed)`` over every
+        injectable site x the golden run's cycle span, each forked from
+        a warm prefix snapshot, run under a cycle-budget (and optional
+        ``max_wall_time``) watchdog and classified against the golden
+        run -- see :mod:`repro.inject.campaign` for the taxonomy and
+        the result shape.
+
+        With a ``serial`` executor (or ``jobs=1``) the whole campaign
+        runs in-process.  Otherwise the sampled plan is split into
+        contiguous shards, each an ``inject_campaign``
+        :class:`~repro.rtl.executors.JobSpec` on the configured
+        executor (``process`` gives real multi-core sweeps), and the
+        shard outcomes are re-aggregated -- the merged result is
+        identical to the serial one (``elapsed`` aside)."""
+        from .inject.campaign import (
+            assemble_result,
+            default_budget,
+            plan_faults,
+            run_campaign,
+        )
+
+        cfg = resolve_config(self.config, **overrides)
+        seed = cfg.seed if inject_seed is None else inject_seed
+        workers = cfg.jobs if cfg.jobs is not None else (
+            os.cpu_count() or 1)
+        if cfg.executor == "serial" or workers <= 1 or faults <= 1:
+            return run_campaign(
+                scenario, cfg, n_faults=faults, inject_seed=seed,
+                tail_budget=tail_budget)
+
+        t0 = time.perf_counter()
+        golden, plan = plan_faults(
+            scenario, cfg, n_faults=faults, inject_seed=seed)
+        # one global tail budget, fixed up front, so every shard
+        # classifies hangs exactly as the serial campaign would
+        budget = tail_budget if tail_budget else default_budget(
+            int(golden["cycles"]))
+        budget = max(budget, max(f.cycle for f in plan) + 1)
+        shards = max(1, min(workers, len(plan)))
+        per = -(-len(plan) // shards)      # ceil division
+        specs = []
+        offsets = []
+        for i in range(0, len(plan), per):
+            group = plan[i:i + per]
+            specs.append(JobSpec(
+                kind="inject_campaign",
+                name=f"{scenario}@f{i // per}", scenario=scenario,
+                config=cfg, params=(
+                    ("faults", tuple(
+                        tuple(sorted(f.to_dict().items()))
+                        for f in group)),
+                    ("inject_seed", seed),
+                    ("tail_budget", budget),
+                )))
+            offsets.append(i)
+        runs = run_batch(specs, **pool_args(cfg))
+        outcomes = []
+        for spec, offset in zip(specs, offsets):
+            shard = runs[spec.name]
+            for rec in shard["outcomes"]:
+                rec = dict(rec)
+                rec["index"] += offset
+                outcomes.append(rec)
+        outcomes.sort(key=lambda rec: rec["index"])
+        return assemble_result(
+            scenario, cfg, seed, plan, budget, golden, outcomes,
+            time.perf_counter() - t0)
 
     # -- benchmarking --------------------------------------------------
     def bench(self, scenarios: Optional[Sequence[str]] = None,

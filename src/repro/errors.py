@@ -81,6 +81,18 @@ class ContractViolationError(AnvilError):
     """A channel timing contract was violated during simulation."""
 
 
+class WatchdogTimeout(SimulationError):
+    """A run exceeded its wall-clock watchdog budget and was cancelled.
+
+    Raised by :func:`repro.rtl.simulator.run_guarded` (and everything
+    layered on it: ``Session.run``, the executor workers, the job
+    queue) when ``SimConfig(max_wall_time=...)`` is set and the
+    simulation does not finish in time.  The fault-injection campaign
+    layer classifies it as a ``hang`` outcome.  The message is plain
+    text so the exception survives pickling across process-pool
+    workers."""
+
+
 class VerificationError(AnvilError):
     """Raised by the bounded model checker on assertion failure."""
 

@@ -45,6 +45,7 @@ import pickle
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -180,6 +181,7 @@ _KIND_HOMES = {
     "figure": "repro.harness.figures",
     "appendix_anvil": "repro.harness.appendix_a",
     "appendix_bmc": "repro.harness.appendix_a",
+    "inject_campaign": "repro.inject.campaign",
 }
 
 
@@ -220,6 +222,7 @@ def _run_scenario(spec: JobSpec) -> ScenarioRun:
     checkpoint store exactly as :meth:`~repro.api.Session.run` does.
     """
     from ..api import get_registry
+    from .simulator import run_guarded
     from .snapshot import (
         get_checkpoint_store,
         prefix_key,
@@ -233,21 +236,22 @@ def _run_scenario(spec: JobSpec) -> ScenarioRun:
     cycles = spec.run_cycles
     snap = spec.param("resume_from")
     every = getattr(cfg, "checkpoint_every", None)
+    wall = getattr(cfg, "max_wall_time", None)
     resumed = 0
     t0 = time.perf_counter()
     if snap is not None:
         restore(sim, snap)
         resumed = sim.cycle
         if cycles > sim.cycle:
-            sim.run(cycles - sim.cycle)
+            run_guarded(sim, cycles - sim.cycle, wall)
     elif every:
         store = get_checkpoint_store()
         key = prefix_key(spec.scenario, cfg, sim)
         resumed = resume_longest_prefix(sim, key, cycles, store)
         run_with_checkpoints(sim, cycles, every, store=store, key=key,
-                             scenario=spec.scenario)
+                             scenario=spec.scenario, max_wall_time=wall)
     else:
-        sim.run(cycles)
+        run_guarded(sim, cycles, wall)
     elapsed = time.perf_counter() - t0
     trace = sim.waveform.render() if getattr(cfg, "trace", False) else None
     run = scenario_run_of(sim, spec.scenario, cycles, elapsed, trace)
@@ -502,16 +506,29 @@ class ProcessExecutor:
     amortized; results come back keyed in submission order; the first
     failing job in submission order re-raises with its worker traceback
     (see :class:`ExecutorError`).
-    """
+
+    A worker that dies *abnormally* (killed by a signal, OOM) poisons
+    the whole pool: every unfinished future reports
+    ``BrokenProcessPool``.  Finished chunks are kept and the unfinished
+    ones are retried once on a fresh pool after ``retry_backoff``
+    seconds -- transient deaths (an OOM-killed sibling, a container
+    resize, a fault-injection campaign worker taking its hang budget
+    out badly) clear on retry, while a deterministic crash fails again
+    and propagates.  ``self.retries`` counts the rebuilds for tests and
+    diagnostics."""
 
     name = "process"
 
     def __init__(self, workers: int, chunk_size: Optional[int] = None,
-                 warmup: bool = True, mp_context=None):
+                 warmup: bool = True, mp_context=None,
+                 max_retries: int = 1, retry_backoff: float = 0.25):
         self.workers = max(1, workers)
         self.chunk_size = chunk_size
         self.warmup = warmup
         self.mp_context = mp_context
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = max(0.0, retry_backoff)
+        self.retries = 0
 
     def _chunk_size(self, n_jobs: int) -> int:
         if self.chunk_size is not None:
@@ -543,19 +560,56 @@ class ProcessExecutor:
             warm = _warm_specs(jobs)
         chunks = _chunked(jobs, self._chunk_size(len(jobs)))
         results: Dict[str, object] = {}
-        pool = ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks)),
-            mp_context=ctx,
-            initializer=_worker_init,
-            initargs=(warm,),
-        )
+        self.retries = 0
+        pending = chunks
+
+        def make_pool(n_chunks: int) -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=min(self.workers, n_chunks),
+                mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(warm,),
+            )
+
+        pool = make_pool(len(pending))
         try:
-            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-            for chunk, fut in zip(chunks, futures):
-                for spec, (status, payload) in zip(chunk, fut.result()):
-                    if status == "err":
-                        _raise_outcome(spec.name, payload)
-                    results[spec.name] = payload
+            while True:
+                broken: List[List[JobSpec]] = []
+                cause: Optional[BaseException] = None
+                futures = []
+                try:
+                    for chunk in pending:
+                        futures.append(pool.submit(_run_chunk, chunk))
+                except BrokenProcessPool as exc:
+                    # the pool died mid-submission: everything not yet
+                    # submitted needs the fresh pool too
+                    cause = exc
+                    broken.extend(pending[len(futures):])
+                for chunk, fut in zip(pending, futures):
+                    try:
+                        payloads = fut.result()
+                    except BrokenProcessPool as exc:
+                        cause = cause or exc
+                        broken.append(chunk)
+                        continue
+                    for spec, (status, payload) in zip(chunk, payloads):
+                        if status == "err":
+                            _raise_outcome(spec.name, payload)
+                        results[spec.name] = payload
+                if not broken:
+                    break
+                if self.retries >= self.max_retries:
+                    raise ExecutorError(
+                        broken[0][0].name,
+                        f"worker process died abnormally (signal/OOM) "
+                        f"and the retried pool died too; "
+                        f"{sum(map(len, broken))} job(s) unfinished",
+                    ) from cause
+                self.retries += 1
+                pool.shutdown(wait=False, cancel_futures=True)
+                time.sleep(self.retry_backoff)
+                pending = broken
+                pool = make_pool(len(pending))
         except KeyboardInterrupt:
             # a deliberate stop: cancel queued chunks AND terminate the
             # workers mid-chunk. A terminal Ctrl-C delivers SIGINT to

@@ -332,6 +332,35 @@ class CombScheduler:
             f"[{', '.join(mod_names)}]"
         )
 
+    # -- fault injection ----------------------------------------------------
+    def poke(self, wire, value: int) -> None:
+        """Force ``wire`` to ``value`` at the current point in the cycle.
+
+        The fault-injection hook runs between settle and the activity
+        commit, where ``Wire.set`` alone would desynchronize the
+        scheduler: the settled column and the changed set must see the
+        corrupted value or the toggle accounting diverges from the
+        brute engine (whose full scan reads ``wire.value`` directly).
+        The corrupted wire needs no dirty propagation here -- the next
+        settle starts with every module dirty, so the wire's writer
+        recomputes it exactly as hardware would after a transient
+        upset."""
+        v = value & wire.mask
+        wire.value = v
+        if self.sim.engine == "brute":
+            return
+        self._ensure_built()
+        for w, wi in self._scan_all:
+            if w is wire:
+                if self._values[wi] != v:
+                    self._values[wi] = v
+                    self._changed.add(wi)
+                return
+        raise SimulationError(
+            f"cannot poke untracked wire {wire.name!r} in "
+            f"{self.sim.name!r}"
+        )
+
     # -- activity accounting ----------------------------------------------
     def sync_registry(self):
         """Make sure the wire registry reflects the current module set

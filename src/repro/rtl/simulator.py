@@ -38,9 +38,10 @@ name, skewing the power estimate).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import SimulationError
+from ..errors import SimulationError, WatchdogTimeout
 from .module import Module
 from .scheduler import CombScheduler
 from .waveform import Waveform
@@ -67,6 +68,13 @@ class Simulator:
         self.waveform = Waveform()
         self.scheduler = CombScheduler(self)
         self._monitors: List[Callable[[int], None]] = []
+        # fault-injection hook (repro.inject): called with the simulator
+        # after settle and before activity commit/sample/tick, i.e. at
+        # the exact point where a transient upset lands on settled wires
+        # or on register state about to be consumed by tick().  While
+        # armed the compiled cycle-kernel fast path stands down (the
+        # hook needs every cycle); it re-arms when the hook disarms.
+        self._inject_hook: Optional[Callable[["Simulator"], None]] = None
         self._prev_values: Dict[int, int] = {}   # brute engine only
         self._adopted_activity: Dict[Tuple[str, str], int] = None
         # kernel engine only: the compiled cycle kernel for the current
@@ -179,6 +187,9 @@ class Simulator:
                 f"further (rebuild the scenario to keep simulating)"
             )
         self.settle()
+        hook = self._inject_hook
+        if hook is not None:
+            hook(self)
         # toggle counting for the power model: the scheduler tracks which
         # wires changed during settle, no full snapshot needed
         if self.engine == "brute":
@@ -232,7 +243,7 @@ class Simulator:
         """Run up to ``cycles`` cycles through the compiled cycle
         kernel; returns the number actually completed (0 when the fast
         path cannot engage -- the caller falls back to :meth:`step`)."""
-        if self.detached or self._monitors:
+        if self.detached or self._monitors or self._inject_hook is not None:
             return 0
         sch = self.scheduler
         sch._ensure_built()
@@ -309,3 +320,41 @@ class Simulator:
             f"Simulator({self.name!r}, cycle={self.cycle}, "
             f"engine={self.engine!r})"
         )
+
+
+def run_guarded(sim: Simulator, cycles: int,
+                max_wall_time: Optional[float] = None,
+                deadline: Optional[float] = None,
+                chunk: int = 512) -> None:
+    """Advance ``sim`` by ``cycles`` under a wall-clock watchdog.
+
+    With no budget this is exactly ``sim.run(cycles)``.  With one, the
+    run proceeds in ``chunk``-cycle slices and a ``time.monotonic()``
+    deadline is checked between slices; exceeding it raises
+    :class:`~repro.errors.WatchdogTimeout` instead of letting a hung or
+    pathological simulation wedge its worker thread / queue slot.  A
+    run that finishes its last slice late still succeeds -- the
+    watchdog cancels pending work, it never discards completed work.
+
+    Callers sharing one budget across several calls (the checkpointing
+    runner) pass an absolute ``deadline`` instead of ``max_wall_time``.
+    The slicing itself never changes observables: each slice goes
+    through the normal ``run`` path, so kernel-engine runs stay on the
+    fast path within every slice.
+    """
+    if deadline is None:
+        if not max_wall_time:
+            sim.run(cycles)
+            return
+        deadline = time.monotonic() + max_wall_time
+    done = 0
+    while done < cycles:
+        n = min(chunk, cycles - done)
+        sim.run(n)
+        done += n
+        if done < cycles and time.monotonic() > deadline:
+            raise WatchdogTimeout(
+                f"wall-clock watchdog cancelled {sim.name!r} at cycle "
+                f"{sim.cycle}: {cycles - done} of {cycles} requested "
+                f"cycles unsimulated when the budget expired"
+            )

@@ -43,6 +43,7 @@ import json
 import os
 import pickle
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -524,19 +525,29 @@ def run_with_checkpoints(
     store: Optional[CheckpointStore] = None, key: str = "",
     scenario: str = "",
     on_checkpoint: Optional[Callable[[int, Snapshot], None]] = None,
+    max_wall_time: Optional[float] = None,
 ) -> int:
     """Advance ``sim`` to absolute cycle ``cycles``, snapshotting at
     every ``every``-cycle boundary (and at the final cycle); returns
     the number of checkpoints newly stored.  With ``every`` falsy this
-    is a plain ``sim.run`` of the remaining tail."""
+    is a plain run of the remaining tail.  ``max_wall_time`` is one
+    watchdog budget shared across all segments (see
+    :func:`~repro.rtl.simulator.run_guarded`); checkpoints stored
+    before the deadline trips survive, so a timed-out run can still be
+    resumed from its last boundary."""
+    from .simulator import run_guarded
+
+    deadline = None
+    if max_wall_time:
+        deadline = time.monotonic() + max_wall_time
     if not every:
         if cycles > sim.cycle:
-            sim.run(cycles - sim.cycle)
+            run_guarded(sim, cycles - sim.cycle, deadline=deadline)
         return 0
     stored = 0
     while sim.cycle < cycles:
         nxt = min(cycles, ((sim.cycle // every) + 1) * every)
-        sim.run(nxt - sim.cycle)
+        run_guarded(sim, nxt - sim.cycle, deadline=deadline)
         if store is not None or on_checkpoint is not None:
             snap = capture(sim, scenario=scenario, key=key)
             if store is not None and store.put(key, sim.cycle, snap):

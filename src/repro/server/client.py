@@ -75,6 +75,19 @@ class ServerClient:
                                    headers=headers)
                 response = self._conn.getresponse()
                 break
+            except TimeoutError as exc:
+                # socket.timeout; must precede the OSError clause below.
+                # A timed-out request is NOT retried -- the server may
+                # still be working on it, and resubmitting would double
+                # the load exactly when the server is slowest.
+                self.close()
+                raise TimeoutError(
+                    f"no response from {self.host}:{self.port} within "
+                    f"{self.timeout:g}s for {method} {path}; the server "
+                    f"may be busy or hung -- raise the client timeout "
+                    f"(ServerClient(timeout=...) / --timeout) for slow "
+                    f"jobs"
+                ) from exc
             except (http.client.HTTPException, ConnectionError, OSError):
                 # a keep-alive connection the server already closed;
                 # reconnect once, then let the error through
@@ -226,6 +239,14 @@ class ServerClient:
                         # our own before reading it
                         sock.sendall(self._masked_frame(
                             OP_CLOSE, struct.pack(">H", 1000)))
+        except TimeoutError as exc:
+            # socket.timeout on the stream socket: no frame within the
+            # budget.  Name the stall clearly; never silently retry.
+            raise TimeoutError(
+                f"trace stream for {job_id} from {self.host}:"
+                f"{self.port} produced no frame within {timeout:g}s "
+                f"(job stalled or stream detached?)"
+            ) from exc
         finally:
             rfile.close()
             sock.close()

@@ -59,6 +59,7 @@ import json
 import queue
 import threading
 import time
+import traceback as traceback_mod
 from typing import Dict, List, Optional
 
 from ..api import (
@@ -70,6 +71,7 @@ from ..api import (
 )
 from ..codegen import pysim
 from ..rtl import kernel
+from ..rtl.simulator import run_guarded
 from ..rtl.snapshot import (
     get_checkpoint_store,
     prefix_key,
@@ -84,7 +86,7 @@ from .trace import TraceHub, TraceTap
 STATES = ("queued", "running", "done", "failed", "cancelled")
 
 #: submission kinds the queue understands
-KINDS = ("run", "sweep", "bench")
+KINDS = ("run", "sweep", "bench", "inject")
 
 
 class Backpressure(RuntimeError):
@@ -112,8 +114,9 @@ class Job:
 
     __slots__ = (
         "id", "kind", "scenario", "scenarios", "tag", "seeds", "config",
-        "stream", "hub", "params", "state", "error", "result", "cached",
-        "submit_key", "content_key", "submitted", "started", "finished",
+        "stream", "hub", "params", "state", "error", "traceback",
+        "result", "cached", "submit_key", "content_key", "submitted",
+        "started", "finished",
     )
 
     def __init__(self, kind: str, config: SimConfig,
@@ -134,6 +137,7 @@ class Job:
         self.params = params or {}
         self.state = "queued"
         self.error: Optional[str] = None
+        self.traceback: Optional[str] = None   # full worker traceback
         self.result = None           # RunResult (run) or plain data
         self.cached: Optional[str] = None      # None | "submit" | "content"
         self.submit_key = self._submit_key()
@@ -178,6 +182,8 @@ class Job:
             out["seeds"] = self.seeds
         if self.error is not None:
             out["error"] = self.error
+        if self.traceback is not None:
+            out["traceback"] = self.traceback
         if include_result and self.state == "done":
             out["result"] = self.result_payload()
         return out
@@ -410,6 +416,38 @@ class JobQueue:
                         f"would be simulated)"
                     )
                 params["from_cycle"] = from_cycle
+        elif kind == "inject":
+            if stream:
+                raise BadSubmission(
+                    "trace streaming applies to run jobs only, not "
+                    "'inject' (a campaign runs many forked tails, not "
+                    "one waveform)"
+                )
+            if not isinstance(scenario, str) or not scenario:
+                raise BadSubmission("inject jobs need a scenario name")
+            registry = get_registry()
+            if scenario not in registry:
+                try:
+                    registry.get(scenario)   # raises with suggestions
+                except KeyError as exc:
+                    raise BadSubmission(str(exc.args[0]))
+            faults = payload.get("faults", 25)
+            if not isinstance(faults, int) or isinstance(faults, bool) \
+                    or faults < 1:
+                raise BadSubmission(
+                    f"faults must be a positive int, got {faults!r}")
+            params["faults"] = faults
+            for key in ("inject_seed", "tail_budget"):
+                value = payload.get(key)
+                if value is None:
+                    continue
+                if not isinstance(value, int) or isinstance(value, bool) \
+                        or (key == "tail_budget" and value < 1):
+                    raise BadSubmission(
+                        f"{key} must be an int"
+                        + (" >= 1" if key == "tail_budget" else "")
+                        + f", got {value!r}")
+                params[key] = value
         else:
             if stream:
                 raise BadSubmission(
@@ -499,6 +537,10 @@ class JobQueue:
                 job.state = "done"
             except Exception as exc:     # report, never kill the worker
                 job.error = f"{type(exc).__name__}: {exc}"
+                # the full traceback rides along in the job record so a
+                # remote client can diagnose an unexpected worker crash
+                # without access to the server's logs
+                job.traceback = traceback_mod.format_exc()
                 job.state = "failed"
             finally:
                 job.finished = time.time()
@@ -512,6 +554,13 @@ class JobQueue:
     def _execute(self, job: Job) -> None:
         if job.kind == "run":
             self._execute_run(job)
+        elif job.kind == "inject":
+            session = Session(job.config)
+            job.result = session.inject_campaign(
+                job.scenario,
+                faults=job.params.get("faults", 25),
+                inject_seed=job.params.get("inject_seed"),
+                tail_budget=job.params.get("tail_budget"))
         elif job.kind == "sweep":
             session = Session(job.config)
             results = session.sweep(
@@ -565,9 +614,10 @@ class JobQueue:
         if every:
             run_with_checkpoints(sim, cfg.cycles, every,
                                  store=self.checkpoints, key=key,
-                                 scenario=job.scenario)
+                                 scenario=job.scenario,
+                                 max_wall_time=cfg.max_wall_time)
         elif cfg.cycles > sim.cycle:
-            sim.run(cfg.cycles - sim.cycle)
+            run_guarded(sim, cfg.cycles - sim.cycle, cfg.max_wall_time)
         elapsed = time.perf_counter() - t0
         if tap is not None:
             sim.remove_monitor(tap)
